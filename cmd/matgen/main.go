@@ -1,0 +1,104 @@
+// Command matgen generates the synthetic analogs of the paper's Table-1
+// matrices and either prints their structure statistics or writes them to
+// MatrixMarket files.
+//
+// Usage:
+//
+//	matgen -list                         # print catalog with Table-1 refs
+//	matgen -name gupta2 -scale 8         # stats of one analog
+//	matgen -name gupta2 -o gupta2.mtx    # write analog to a file
+//	matgen -all -dir out/ -scale 8       # write every analog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"stfw/internal/sparse"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the catalog with Table-1 reference statistics")
+	name := flag.String("name", "", "catalog matrix to generate")
+	all := flag.Bool("all", false, "generate every catalog matrix")
+	scale := flag.Int("scale", 8, "shrink factor (1 = full size)")
+	out := flag.String("o", "", "output MatrixMarket file (default: print stats)")
+	dir := flag.String("dir", ".", "output directory for -all")
+	flag.Parse()
+
+	if err := run(*list, *name, *all, *scale, *out, *dir); err != nil {
+		fmt.Fprintf(os.Stderr, "matgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(list bool, name string, all bool, scale int, out, dir string) error {
+	switch {
+	case list:
+		fmt.Printf("%-18s %9s %10s %7s %6s %7s\n", "matrix", "rows", "nnz", "max", "cv", "maxdr")
+		for _, n := range sparse.CatalogNames() {
+			e, err := sparse.Lookup(n)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-18s %9d %10d %7d %6.2f %7.3f\n",
+				n, e.RefRows, e.RefNNZ, e.RefMax, e.RefCV, e.RefMaxDR)
+		}
+		return nil
+	case all:
+		for _, n := range sparse.CatalogNames() {
+			path := filepath.Join(dir, fmt.Sprintf("%s_s%d.mtx", n, scale))
+			if err := writeOne(n, scale, path); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		return nil
+	case name != "":
+		if out != "" {
+			return writeOne(name, scale, out)
+		}
+		return printStats(name, scale)
+	default:
+		return fmt.Errorf("nothing to do: pass -list, -name, or -all (see -h)")
+	}
+}
+
+func printStats(name string, scale int) error {
+	m, err := sparse.CatalogMatrix(name, scale)
+	if err != nil {
+		return err
+	}
+	e, err := sparse.Lookup(name)
+	if err != nil {
+		return err
+	}
+	s := sparse.ComputeStats(m)
+	fmt.Printf("%s at scale %d (reference values from Table 1 in parentheses)\n", name, scale)
+	fmt.Printf("  rows:       %d (%d)\n", s.Rows, e.RefRows)
+	fmt.Printf("  nnz:        %d (%d)\n", s.NNZ, e.RefNNZ)
+	fmt.Printf("  max degree: %d (%d)\n", s.MaxDegree, e.RefMax)
+	fmt.Printf("  avg degree: %.1f\n", s.AvgDegree)
+	fmt.Printf("  cv:         %.2f (%.2f)\n", s.CV, e.RefCV)
+	fmt.Printf("  maxdr:      %.3f (%.3f)\n", s.MaxDR, e.RefMaxDR)
+	fmt.Printf("  symmetric:  %v\n", m.IsSymmetricPattern())
+	return nil
+}
+
+func writeOne(name string, scale int, path string) error {
+	m, err := sparse.CatalogMatrix(name, scale)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := sparse.WriteMatrixMarket(f, m); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stfw/internal/sparse"
+)
+
+func TestRunModes(t *testing.T) {
+	if err := run(true, "", false, 8, "", "."); err != nil {
+		t.Errorf("list: %v", err)
+	}
+	if err := run(false, "cbuckle", false, 64, "", "."); err != nil {
+		t.Errorf("stats: %v", err)
+	}
+	if err := run(false, "", false, 8, "", "."); err == nil {
+		t.Error("no-op invocation accepted")
+	}
+	if err := run(false, "nope", false, 8, "", "."); err == nil {
+		t.Error("unknown matrix accepted")
+	}
+	// Write one matrix and read it back.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.mtx")
+	if err := run(false, "cbuckle", false, 64, path, "."); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := sparse.ReadMatrixMarket(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows == 0 || m.NNZ() == 0 {
+		t.Error("written matrix empty")
+	}
+}

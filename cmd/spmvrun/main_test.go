@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunEndToEnd(t *testing.T) {
+	// Small real runs through the CLI path: both methods, both transports,
+	// with tracing on for STFW.
+	if err := run("sparsine", 16, 3, 64, "stfw", "chan", 1, true); err != nil {
+		t.Errorf("stfw/chan: %v", err)
+	}
+	if err := run("sparsine", 8, 2, 64, "bl", "chan", 1, false); err != nil {
+		t.Errorf("bl/chan: %v", err)
+	}
+	if err := run("sparsine", 4, 2, 64, "stfw", "tcp", 1, false); err != nil {
+		t.Errorf("stfw/tcp: %v", err)
+	}
+	if err := run("sparsine", 4, 2, 64, "stfw", "carrierpigeon", 1, false); err == nil {
+		t.Error("unknown transport accepted")
+	}
+	if err := run("nope", 4, 2, 64, "stfw", "chan", 1, false); err == nil {
+		t.Error("unknown matrix accepted")
+	}
+}

@@ -1,0 +1,194 @@
+// Command stfwbench regenerates the tables and figures of the paper's
+// evaluation (Section 6). Each experiment prints the same rows/series the
+// paper reports, computed from the synthetic catalog analogs, the greedy
+// partitioner, the exact store-and-forward router, and the machine cost
+// models (see DESIGN.md for the substitutions).
+//
+// Usage:
+//
+//	stfwbench -exp table1|fig1|table2|fig6|fig7|fig8|fig9|table3|fig10|partitioners|skew|mapping|stencil|all [-scale N]
+//
+// -scale shrinks the catalog matrices (sparse.ScaleParams semantics);
+// scale 1 is full size. The default of 8 preserves every regime the paper
+// studies while keeping the full sweep fast on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stfw/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1, fig1, table2, fig6, fig7, fig8, fig9, table3, fig10, partitioners, skew, mapping, stencil, all")
+	scale := flag.Int("scale", 8, "matrix shrink factor (1 = full-size structures)")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale}
+	if err := run(cfg, *exp); err != nil {
+		fmt.Fprintf(os.Stderr, "stfwbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, exp string) error {
+	runners := map[string]func(experiments.Config) error{
+		"table1":       runTable1,
+		"fig1":         runFig1,
+		"table2":       runTable2,
+		"fig6":         runFig6,
+		"fig7":         runFig7,
+		"fig8":         runFig8,
+		"fig9":         runFig9,
+		"table3":       runTable3,
+		"fig10":        runFig10,
+		"partitioners": runPartitioners,
+		"skew":         runSkew,
+		"mapping":      runMapping,
+		"stencil":      runStencil,
+	}
+	order := []string{"table1", "fig1", "table2", "fig6", "fig7", "fig8", "fig9", "table3", "fig10",
+		"partitioners", "skew", "mapping", "stencil"}
+	if exp != "all" {
+		r, ok := runners[exp]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", exp)
+		}
+		return timed(exp, cfg, r)
+	}
+	for _, name := range order {
+		if err := timed(name, cfg, runners[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func timed(name string, cfg experiments.Config, f func(experiments.Config) error) error {
+	start := time.Now()
+	if err := f(cfg); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	fmt.Printf("\n[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runTable1(cfg experiments.Config) error {
+	rows, err := experiments.Table1(cfg)
+	if err != nil {
+		return err
+	}
+	experiments.RenderTable1(os.Stdout, rows)
+	return nil
+}
+
+func runFig1(cfg experiments.Config) error {
+	series, err := experiments.Figure1(cfg)
+	if err != nil {
+		return err
+	}
+	experiments.RenderFigure1(os.Stdout, series)
+	return nil
+}
+
+func runTable2(cfg experiments.Config) error {
+	blocks, err := experiments.Table2(cfg)
+	if err != nil {
+		return err
+	}
+	experiments.RenderTable2(os.Stdout, blocks)
+	return nil
+}
+
+func runFig6(cfg experiments.Config) error {
+	rows, err := experiments.Figure6(cfg)
+	if err != nil {
+		return err
+	}
+	experiments.RenderFigure6(os.Stdout, rows)
+	return nil
+}
+
+func runFig7(cfg experiments.Config) error {
+	panels, err := experiments.Figure7(cfg)
+	if err != nil {
+		return err
+	}
+	experiments.RenderFigure7(os.Stdout, panels)
+	return nil
+}
+
+func runFig8(cfg experiments.Config) error {
+	series, err := experiments.Figure8(cfg)
+	if err != nil {
+		return err
+	}
+	experiments.RenderFigure8(os.Stdout, series)
+	return nil
+}
+
+func runFig9(cfg experiments.Config) error {
+	bars, err := experiments.Figure9(cfg)
+	if err != nil {
+		return err
+	}
+	experiments.RenderFigure9(os.Stdout, bars)
+	return nil
+}
+
+func runTable3(cfg experiments.Config) error {
+	blocks, err := experiments.Table3(cfg)
+	if err != nil {
+		return err
+	}
+	experiments.RenderTable3(os.Stdout, blocks)
+	return nil
+}
+
+func runFig10(cfg experiments.Config) error {
+	rows, err := experiments.Figure10(cfg)
+	if err != nil {
+		return err
+	}
+	experiments.RenderFigure10(os.Stdout, rows)
+	return nil
+}
+
+func runPartitioners(cfg experiments.Config) error {
+	rows, err := experiments.PartitionerAblation(cfg, "GaAsH6", 256)
+	if err != nil {
+		return err
+	}
+	experiments.RenderPartitionerAblation(os.Stdout, "GaAsH6", 256, rows)
+	return nil
+}
+
+func runSkew(cfg experiments.Config) error {
+	rows, err := experiments.SkewAblation(cfg, "gupta2", 512, 4)
+	if err != nil {
+		return err
+	}
+	experiments.RenderSkewAblation(os.Stdout, "gupta2", 512, 4, rows)
+	return nil
+}
+
+func runMapping(cfg experiments.Config) error {
+	rows, err := experiments.MappingAblation(cfg, "coAuthorsDBLP", 256, 4)
+	if err != nil {
+		return err
+	}
+	experiments.RenderMappingAblation(os.Stdout, "coAuthorsDBLP", 256, 4, rows)
+	return nil
+}
+
+func runStencil(cfg experiments.Config) error {
+	rows, err := experiments.StencilControl(256, 128)
+	if err != nil {
+		return err
+	}
+	experiments.RenderStencilControl(os.Stdout, 256, rows)
+	return nil
+}

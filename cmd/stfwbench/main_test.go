@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+
+	"stfw/internal/experiments"
+)
+
+func TestRunDispatch(t *testing.T) {
+	cfg := experiments.Config{Scale: 64}
+	if err := run(cfg, "nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	// A fast experiment end-to-end through the CLI dispatcher.
+	if err := run(cfg, "stencil"); err != nil {
+		t.Errorf("stencil: %v", err)
+	}
+	if err := run(cfg, "fig1"); err != nil {
+		t.Errorf("fig1: %v", err)
+	}
+}

@@ -1,0 +1,119 @@
+// Command vptinfo prints, for a given number of processes, every virtual
+// process topology the balanced scheme of Section 5 produces, together with
+// the Section 4 analysis: the per-process message-count bound, the exact
+// volume blowup of the worst-case complete exchange, the loose bound, and
+// the expected forwards per submessage.
+//
+// Usage:
+//
+//	vptinfo -k 256                  # Section 5 schemes + Section 4 bounds
+//	vptinfo -k 64 -n 3 -p 22        # a process's neighborhood (Figure 2)
+//	vptinfo -k 64 -n 3 -route 5,42  # the dimension-ordered route (Section 3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stfw/internal/core"
+	"stfw/internal/vpt"
+)
+
+func main() {
+	k := flag.Int("k", 256, "number of processes (power of two)")
+	n := flag.Int("n", 0, "with -p or -route: VPT dimension (default: 3 or max)")
+	p := flag.Int("p", -1, "show the neighborhood of this rank (Figure 2 of the paper)")
+	route := flag.String("route", "", "show the dimension-ordered route between two ranks, e.g. -route 5,42")
+	flag.Parse()
+	if err := run(*k, *n, *p, *route); err != nil {
+		fmt.Fprintf(os.Stderr, "vptinfo: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func pickTopo(K, n int) (*vpt.Topology, error) {
+	if n <= 0 {
+		n = 3
+		if m := vpt.MaxDim(K); n > m {
+			n = m
+		}
+	}
+	return vpt.NewBalanced(K, n)
+}
+
+// showNeighborhood prints the paper's Figure 2: the neighbors of one
+// process in each dimension of the VPT.
+func showNeighborhood(K, n, p int) error {
+	t, err := pickTopo(K, n)
+	if err != nil {
+		return err
+	}
+	if p < 0 || p >= K {
+		return fmt.Errorf("rank %d out of range [0,%d)", p, K)
+	}
+	fmt.Printf("Topology %s; rank %d has digits %v\n", t, p, t.Coords(p))
+	fmt.Printf("Total neighbors: %d (= message bound per exchange)\n\n", t.NumNeighbors())
+	for d := 0; d < t.N(); d++ {
+		fmt.Printf("dimension %d (stage %d, group size %d): %v\n",
+			d, d+1, t.Dim(d), t.Neighbors(nil, p, d))
+	}
+	return nil
+}
+
+// showRoute prints the dimension-ordered store-and-forward route between
+// two ranks, the e-cube path of Section 3.
+func showRoute(K, n int, spec string) error {
+	t, err := pickTopo(K, n)
+	if err != nil {
+		return err
+	}
+	var a, b int
+	if _, err := fmt.Sscanf(spec, "%d,%d", &a, &b); err != nil {
+		return fmt.Errorf("bad -route %q (want e.g. 5,42): %v", spec, err)
+	}
+	if a < 0 || a >= K || b < 0 || b >= K {
+		return fmt.Errorf("route endpoints out of range [0,%d)", K)
+	}
+	fmt.Printf("Topology %s\n", t)
+	fmt.Printf("route %d%v -> %d%v: Hamming distance %d\n",
+		a, t.Coords(a), b, t.Coords(b), t.Hamming(a, b))
+	cur := a
+	for _, hop := range t.Path(nil, a, b) {
+		fmt.Printf("  stage %d: %d%v -> %d%v\n",
+			t.FirstDiff(cur, hop)+1, cur, t.Coords(cur), hop, t.Coords(hop))
+		cur = hop
+	}
+	if a == b {
+		fmt.Println("  (no hops: source equals destination)")
+	}
+	return nil
+}
+
+func run(K, n, p int, route string) error {
+	if K < 2 || K&(K-1) != 0 {
+		return fmt.Errorf("K must be a power of two >= 2, got %d", K)
+	}
+	if p >= 0 {
+		return showNeighborhood(K, n, p)
+	}
+	if route != "" {
+		return showRoute(K, n, route)
+	}
+	fmt.Printf("Virtual process topologies for K = %d processes\n\n", K)
+	fmt.Printf("%-6s %-22s %10s %12s %12s %10s\n",
+		"dim", "topology", "msg bound", "vol blowup", "loose bound", "avg hops")
+	for n := 1; n <= vpt.MaxDim(K); n++ {
+		t, err := vpt.NewBalanced(K, n)
+		if err != nil {
+			return err
+		}
+		blowup := core.TopologyVolumeBlowup(t)
+		fmt.Printf("T%-5d %-22s %10d %12.2f %12d %10.2f\n",
+			n, t.String(), core.MaxMessageBound(t), blowup, n, blowup)
+	}
+	fmt.Printf("\nmsg bound: per-process messages, sum_d (k_d - 1); BL would send up to %d.\n", K-1)
+	fmt.Printf("vol blowup: exact forwarded volume over direct volume for the\n")
+	fmt.Printf("worst-case complete exchange (equals mean hops per submessage).\n")
+	return nil
+}

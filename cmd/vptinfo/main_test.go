@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunModes(t *testing.T) {
+	if err := run(63, 0, -1, ""); err == nil {
+		t.Error("non-power-of-two K accepted")
+	}
+	if err := run(64, 0, -1, ""); err != nil {
+		t.Errorf("table mode: %v", err)
+	}
+	if err := run(64, 3, 22, ""); err != nil {
+		t.Errorf("neighborhood mode: %v", err)
+	}
+	if err := run(64, 3, 99, ""); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if err := run(64, 3, -1, "5,42"); err != nil {
+		t.Errorf("route mode: %v", err)
+	}
+	if err := run(64, 3, -1, "banana"); err == nil {
+		t.Error("malformed route accepted")
+	}
+	if err := run(64, 3, -1, "5,99"); err == nil {
+		t.Error("out-of-range route accepted")
+	}
+}

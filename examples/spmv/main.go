@@ -1,0 +1,115 @@
+// Distributed SpMV — the paper's evaluation workload, end to end.
+//
+// We generate the analog of the paper's gupta2 matrix (a linear-programming
+// structure with a few very dense rows: cv 5.2, a hub touching 13% of the
+// rows), partition it across 64 ranks with the greedy partitioner, and run
+// y = A*x twice over in-process channels: once with direct messages and
+// once through a 3D virtual process topology. Both results are verified
+// against the serial multiply; the plans show what the regularization did
+// to the communication pattern.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"stfw"
+	"stfw/internal/partition"
+	"stfw/internal/sparse"
+	"stfw/internal/spmv"
+)
+
+const (
+	K     = 64
+	dim   = 3
+	scale = 16
+)
+
+func main() {
+	a, err := sparse.CatalogMatrix("gupta2", scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sparse.ComputeStats(a)
+	fmt.Printf("gupta2 analog: %d rows, %d nonzeros, max degree %d (cv %.1f)\n",
+		st.Rows, st.NNZ, st.MaxDegree, st.CV)
+
+	part, err := partition.Greedy(a, K, partition.DefaultGreedy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pat, err := spmv.BuildPattern(a, part)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sends, err := pat.SendSets()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	topo, err := stfw.BalancedTopology(K, dim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bl, err := stfw.BuildDirectPlan(sends)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stp, err := stfw.BuildPlan(topo, sends)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blSum, _ := stfw.Summarize("BL", bl, sends)
+	stSum, _ := stfw.Summarize("STFW", stp, sends)
+	fmt.Printf("exchange plan: BL mmax=%.0f mavg=%.1f | STFW%d mmax=%.0f mavg=%.1f (bound %d)\n\n",
+		blSum.MMax, blSum.MAvg, dim, stSum.MMax, stSum.MAvg, stfw.MessageBound(topo))
+
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want, err := a.MulVec(nil, x)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, opt := range []spmv.Options{
+		{Method: spmv.BL},
+		{Method: spmv.STFW, Topo: topo},
+	} {
+		w, err := stfw.LocalWorld(K)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ys := make([][]float64, K)
+		err = w.Run(func(c stfw.Comm) error {
+			y, err := spmv.Run(c, a, part, pat, x, opt)
+			if err != nil {
+				return err
+			}
+			ys[c.Rank()] = y
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := spmv.Reduce(part, ys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var maxErr float64
+		for i := range want {
+			maxErr = math.Max(maxErr, math.Abs(got[i]-want[i]))
+		}
+		fmt.Printf("%-5v: parallel SpMV on %d ranks, max |err| vs serial = %.2e\n",
+			opt.Method, K, maxErr)
+		if maxErr > 1e-9 {
+			log.Fatalf("%v verification failed", opt.Method)
+		}
+	}
+	fmt.Println("\nboth schemes produce the exact serial result; STFW just moves the")
+	fmt.Println("same values through the virtual topology in", dim, "regular stages.")
+}

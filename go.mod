@@ -1,0 +1,3 @@
+module stfw
+
+go 1.22

@@ -1,0 +1,313 @@
+package collectives
+
+import (
+	"bytes"
+	"fmt"
+
+	"sync/atomic"
+	"testing"
+
+	"stfw/internal/runtime"
+	"stfw/internal/transport/chanpt"
+)
+
+func world(t testing.TB, K int) *chanpt.World {
+	t.Helper()
+	w, err := chanpt.NewWorld(K, K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestBarrier(t *testing.T) {
+	for _, K := range []int{1, 2, 3, 8, 13, 32} {
+		var before int32
+		w := world(t, K)
+		err := w.Run(func(c runtime.Comm) error {
+			atomic.AddInt32(&before, 1)
+			if err := Barrier(c); err != nil {
+				return err
+			}
+			if got := atomic.LoadInt32(&before); got != int32(K) {
+				return fmt.Errorf("rank %d passed barrier with %d arrivals", c.Rank(), got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("K=%d: %v", K, err)
+		}
+	}
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	payload := []byte("broadcast me, carefully")
+	for _, K := range []int{1, 2, 3, 7, 8, 16, 20} {
+		for root := 0; root < K; root += maxi(1, K/3) {
+			w := world(t, K)
+			err := w.Run(func(c runtime.Comm) error {
+				var buf []byte
+				if c.Rank() == root {
+					buf = payload
+				}
+				got, err := Bcast(c, root, buf)
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(got, payload) {
+					return fmt.Errorf("rank %d got %q", c.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("K=%d root=%d: %v", K, root, err)
+			}
+		}
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestBcastBadRoot(t *testing.T) {
+	w := world(t, 2)
+	err := w.Run(func(c runtime.Comm) error {
+		if _, err := Bcast(c, 5, nil); err == nil {
+			return fmt.Errorf("bad root accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherDoubles(t *testing.T) {
+	for _, K := range []int{1, 2, 3, 8, 11} {
+		w := world(t, K)
+		err := w.Run(func(c runtime.Comm) error {
+			mine := []float64{float64(c.Rank()), float64(c.Rank() * 10)}
+			all, err := AllgatherDoubles(c, mine)
+			if err != nil {
+				return err
+			}
+			if len(all) != K {
+				return fmt.Errorf("got %d segments", len(all))
+			}
+			for r := 0; r < K; r++ {
+				if len(all[r]) != 2 || all[r][0] != float64(r) || all[r][1] != float64(r*10) {
+					return fmt.Errorf("rank %d: segment %d = %v", c.Rank(), r, all[r])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("K=%d: %v", K, err)
+		}
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	for _, K := range []int{1, 2, 4, 8, 16, 3, 6, 12} {
+		w := world(t, K)
+		wantSum := float64(K*(K-1)) / 2
+		err := w.Run(func(c runtime.Comm) error {
+			vec := []float64{float64(c.Rank()), 1}
+			got, err := Allreduce(c, vec, Sum)
+			if err != nil {
+				return err
+			}
+			if got[0] != wantSum || got[1] != float64(K) {
+				return fmt.Errorf("rank %d: got %v, want [%v %v]", c.Rank(), got, wantSum, float64(K))
+			}
+			// The input must not be clobbered.
+			if vec[0] != float64(c.Rank()) {
+				return fmt.Errorf("input mutated")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("K=%d: %v", K, err)
+		}
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	const K = 8
+	w := world(t, K)
+	err := w.Run(func(c runtime.Comm) error {
+		v := float64(c.Rank())
+		max, err := AllreduceScalar(c, v, Max)
+		if err != nil {
+			return err
+		}
+		min, err := AllreduceScalar(c, v, Min)
+		if err != nil {
+			return err
+		}
+		if max != K-1 || min != 0 {
+			return fmt.Errorf("max=%v min=%v", max, min)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceLengthMismatch(t *testing.T) {
+	w := world(t, 2)
+	errs := make([]error, 2)
+	_ = w.Run(func(c runtime.Comm) error {
+		vec := make([]float64, 1+c.Rank()) // ranks disagree on length
+		_, errs[c.Rank()] = Allreduce(c, vec, Sum)
+		return nil
+	})
+	if errs[0] == nil && errs[1] == nil {
+		t.Error("length mismatch not detected")
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, K := range []int{1, 2, 4, 8, 3, 5, 9} {
+		w := world(t, K)
+		err := w.Run(func(c runtime.Comm) error {
+			me := c.Rank()
+			send := make([][]byte, K)
+			for j := 0; j < K; j++ {
+				send[j] = []byte{byte(me), byte(j)}
+			}
+			recv, err := Alltoall(c, send)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < K; i++ {
+				if len(recv[i]) != 2 || int(recv[i][0]) != i || int(recv[i][1]) != me {
+					return fmt.Errorf("rank %d: recv[%d] = %v", me, i, recv[i])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("K=%d: %v", K, err)
+		}
+	}
+}
+
+func TestAlltoallValidation(t *testing.T) {
+	w := world(t, 2)
+	errs := make([]error, 2)
+	_ = w.Run(func(c runtime.Comm) error {
+		if c.Rank() == 0 {
+			_, errs[0] = Alltoall(c, make([][]byte, 1)) // wrong length
+			return nil
+		}
+		return nil
+	})
+	if errs[0] == nil {
+		t.Error("wrong sendbuf length accepted")
+	}
+}
+
+func BenchmarkAllreduce64(b *testing.B) {
+	w := world(b, 64)
+	comms := w.Comms()
+	vec := make([]float64, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := runtime.Run(comms, func(c runtime.Comm) error {
+			_, err := Allreduce(c, vec, Sum)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBarrier64(b *testing.B) {
+	w := world(b, 64)
+	comms := w.Comms()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := runtime.Run(comms, Barrier); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	for _, K := range []int{1, 2, 5, 8} {
+		for root := 0; root < K; root += maxi(1, K-1) {
+			w := world(t, K)
+			err := w.Run(func(c runtime.Comm) error {
+				mine := []byte{byte(c.Rank() * 3)}
+				got, err := Gather(c, root, mine)
+				if err != nil {
+					return err
+				}
+				if c.Rank() != root {
+					if got != nil {
+						return fmt.Errorf("non-root got data")
+					}
+					return nil
+				}
+				for r := 0; r < K; r++ {
+					if len(got[r]) != 1 || got[r][0] != byte(r*3) {
+						return fmt.Errorf("root: got[%d] = %v", r, got[r])
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("K=%d root=%d: %v", K, root, err)
+			}
+		}
+	}
+	w := world(t, 2)
+	err := w.Run(func(c runtime.Comm) error {
+		if _, err := Gather(c, 9, nil); err == nil {
+			return fmt.Errorf("bad root accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterDoubles(t *testing.T) {
+	for _, K := range []int{2, 4, 3} {
+		w := world(t, K)
+		n := 2 * K
+		err := w.Run(func(c runtime.Comm) error {
+			vec := make([]float64, n)
+			for i := range vec {
+				vec[i] = float64(i)
+			}
+			// Sum over K ranks of the same vector = K * vec.
+			got, err := ReduceScatterDoubles(c, vec, Sum)
+			if err != nil {
+				return err
+			}
+			me := c.Rank()
+			lo := me * n / K
+			if len(got) != (me+1)*n/K-lo {
+				return fmt.Errorf("rank %d: block size %d", me, len(got))
+			}
+			for i, v := range got {
+				if want := float64(K) * float64(lo+i); v != want {
+					return fmt.Errorf("rank %d: got[%d] = %v, want %v", me, i, v, want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("K=%d: %v", K, err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+
+	"stfw/internal/vpt"
+)
+
+// Analysis of Section 4: worst-case bounds for the store-and-forward scheme
+// under the complete-exchange assumption (|SendSet| = K-1, uniform message
+// size s, uniform dimension size k, K = k^n).
+
+// MaxMessageBound returns the per-process per-run upper bound on sent
+// message count for a topology: sum_d (k_d - 1). For T_1(K) this is K-1; for
+// the hypercube T_lgK(2,...,2) it is lg K.
+func MaxMessageBound(t *vpt.Topology) int { return t.NumNeighbors() }
+
+// StageMessageBound returns the per-process message bound of stage d alone,
+// k_d - 1.
+func StageMessageBound(t *vpt.Topology, d int) int { return t.Dim(d) - 1 }
+
+// Binomial returns C(n, k) as a float64 (exact for the small n used by VPT
+// analysis).
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// ExactForwardVolume returns the exact volume (in words) incurred in
+// communicating the messages originating from a single process in the
+// worst-case scenario on a uniform topology with dimension size k and n
+// dimensions, message size s:
+//
+//	V = s * sum_{l=1..n} (k-1)^l * C(n, l) * l
+//
+// (each of the (k-1)^l*C(n,l) destinations at Hamming distance l costs l
+// forwards). For n = 1 this is the direct volume s*(K-1).
+func ExactForwardVolume(k, n int, s int64) float64 {
+	var v float64
+	for l := 1; l <= n; l++ {
+		v += math.Pow(float64(k-1), float64(l)) * Binomial(n, l) * float64(l)
+	}
+	return float64(s) * v
+}
+
+// LooseForwardVolume returns the paper's loose upper bound n*V where
+// V = s*(K-1) is the direct-communication volume.
+func LooseForwardVolume(k, n int, s int64) float64 {
+	K := math.Pow(float64(k), float64(n))
+	return float64(n) * float64(s) * (K - 1)
+}
+
+// DirectVolume returns s*(K-1), the volume of the messages originating from
+// one process under direct communication.
+func DirectVolume(K int, s int64) float64 { return float64(s) * float64(K-1) }
+
+// VolumeBlowup returns the ratio of the exact store-and-forward volume to
+// the direct volume for a uniform k^n topology. Section 4 reports 3.01 for
+// T_4 at K=256, 4.02 for T_8 and 1.88 for T_2.
+func VolumeBlowup(k, n int) float64 {
+	K := int(math.Round(math.Pow(float64(k), float64(n))))
+	return ExactForwardVolume(k, n, 1) / DirectVolume(K, 1)
+}
+
+// ExpectedForwards returns the average number of hops (forwards) per
+// submessage for a uniform k^n topology under the complete exchange: the
+// mean Hamming distance over all K-1 destinations, n*(k-1)/k scaled to
+// exclude the self rank.
+func ExpectedForwards(k, n int) float64 {
+	K := math.Pow(float64(k), float64(n))
+	// Sum of Hamming distances to all ranks (including self, distance 0)
+	// is K * n * (k-1)/k.
+	return K * float64(n) * (float64(k-1) / float64(k)) / (K - 1)
+}
+
+// BufferBound returns the Section 4 bound on the number of payload words
+// resident at any process at any communication stage in the worst case:
+// s*(K-1).
+func BufferBound(K int, s int64) int64 { return s * int64(K-1) }
+
+// TopologyVolumeBlowup generalizes VolumeBlowup to non-uniform topologies:
+// the exact mean number of forwards per unit of volume for a complete
+// exchange on t, i.e. (sum over ordered pairs of Hamming distance) /
+// (K*(K-1)) times ... and multiplied by (K-1) gives per-process volume. It
+// returns total forwarded volume / direct volume.
+func TopologyVolumeBlowup(t *vpt.Topology) float64 {
+	// The Hamming distance distribution is a product over dimensions:
+	// digit d differs with probability (k_d-1)/k_d across all K^2 ordered
+	// pairs. Expected distance per ordered pair = sum_d (k_d-1)/k_d.
+	K := float64(t.Size())
+	var mean float64
+	for d := 0; d < t.N(); d++ {
+		k := float64(t.Dim(d))
+		mean += (k - 1) / k
+	}
+	// Over all K^2 ordered pairs the total distance is K^2 * mean; the
+	// K self-pairs contribute 0, so over the K*(K-1) real pairs the mean
+	// is K*mean/(K-1).
+	return K * mean / (K - 1)
+}

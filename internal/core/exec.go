@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+
+	"stfw/internal/msg"
+	"stfw/internal/runtime"
+	"stfw/internal/vpt"
+)
+
+// Delivered is what a rank gets out of an exchange: the original payloads
+// destined for it, tagged with their source ranks.
+type Delivered struct {
+	Subs []msg.Submessage
+}
+
+// tagBase separates store-and-forward stage tags from other traffic on the
+// same communicator.
+const tagBase = 0x5747 // "WG"
+
+// StageTag returns the transport tag the exchange uses for stage d;
+// instrumentation (internal/trace) uses it to attribute frames to stages.
+func StageTag(d int) int { return tagBase + d }
+
+// TagStage inverts StageTag: it returns the stage of a tag and whether the
+// tag belongs to the store-and-forward exchange at all (maxStages bounds
+// the topology dimension).
+func TagStage(tag, maxStages int) (int, bool) {
+	d := tag - tagBase
+	if d >= 0 && d < maxStages {
+		return d, true
+	}
+	if tag == tagBase-1 {
+		return 0, true // the direct-exchange tag maps to a single stage
+	}
+	return 0, false
+}
+
+// Exchange runs Algorithm 1 on one rank: it injects this rank's outgoing
+// payloads into the forward buffers, executes the n communication stages of
+// the topology (talking only to dimension-d neighbors in stage d), stores
+// and forwards submessages of other ranks, and returns the submessages
+// destined for this rank.
+//
+// payloads maps destination rank to the data this rank wants delivered
+// there. A frame is sent to every dimension-d neighbor each stage (possibly
+// empty) so receive counts are deterministic; the paper's message-count
+// metrics ignore empty frames, and so does the Plan this call is validated
+// against.
+//
+// Exchange is collective: every rank of the communicator must call it with
+// the same topology.
+func Exchange(c runtime.Comm, t *vpt.Topology, payloads map[int][]byte) (*Delivered, error) {
+	me := c.Rank()
+	if t.Size() != c.Size() {
+		return nil, fmt.Errorf("core: topology size %d != communicator size %d", t.Size(), c.Size())
+	}
+	fb := msg.NewForwardBuffers(t.Dims())
+	out := &Delivered{}
+
+	// Lines 4-6: scatter my send list into the forward buffers, keyed by
+	// the first differing digit.
+	for dst, data := range payloads {
+		if dst < 0 || dst >= t.Size() {
+			return nil, fmt.Errorf("core: rank %d: destination %d out of range", me, dst)
+		}
+		if dst == me {
+			out.Subs = append(out.Subs, msg.Submessage{Src: me, Dst: me, Data: data})
+			continue
+		}
+		d := t.FirstDiff(me, dst)
+		fb.Put(d, t.Digit(dst, d), msg.Submessage{Src: me, Dst: dst, Data: data})
+	}
+
+	var encodeBuf []byte
+	for d := 0; d < t.N(); d++ {
+		tag := tagBase + d
+		myDigit := t.Digit(me, d)
+		kd := t.Dim(d)
+
+		// Lines 9-12: send one frame to each neighbor in dimension d. The
+		// frame may be empty; emptiness is cheap on both transports and
+		// makes the number of receives deterministic.
+		for x := 0; x < kd; x++ {
+			if x == myDigit {
+				continue
+			}
+			to := t.WithDigit(me, d, x)
+			m := msg.Message{From: me, To: to, Subs: fb.Take(d, x)}
+			encodeBuf = msg.Encode(encodeBuf[:0], &m)
+			frame := append([]byte(nil), encodeBuf...)
+			if err := c.Send(to, tag, frame); err != nil {
+				return nil, fmt.Errorf("core: rank %d stage %d send to %d: %w", me, d, to, err)
+			}
+		}
+
+		// Lines 13-17: receive one frame from each neighbor and scatter its
+		// submessages into later-stage buffers (or deliver them).
+		for x := 0; x < kd; x++ {
+			if x == myDigit {
+				continue
+			}
+			from := t.WithDigit(me, d, x)
+			raw, err := c.Recv(from, tag)
+			if err != nil {
+				return nil, fmt.Errorf("core: rank %d stage %d recv from %d: %w", me, d, from, err)
+			}
+			m, err := msg.Decode(raw)
+			if err != nil {
+				return nil, fmt.Errorf("core: rank %d stage %d frame from %d: %w", me, d, from, err)
+			}
+			if m.From != from || m.To != me {
+				return nil, fmt.Errorf("core: rank %d stage %d: misrouted frame %d->%d arrived from %d",
+					me, d, m.From, m.To, from)
+			}
+			for _, sub := range m.Subs {
+				if sub.Dst == me {
+					out.Subs = append(out.Subs, sub)
+					continue
+				}
+				c2 := t.NextDiff(me, sub.Dst, d)
+				if c2 < 0 {
+					// The routing invariant guarantees digits 0..d of the
+					// holder match the destination after stage d; a
+					// submessage that matches in all digits but is not for
+					// us indicates a corrupted frame.
+					return nil, fmt.Errorf("core: rank %d stage %d: submessage for %d cannot be forwarded",
+						me, d, sub.Dst)
+				}
+				fb.Put(c2, t.Digit(sub.Dst, c2), sub)
+			}
+		}
+	}
+	if left := fb.SubCount(); left != 0 {
+		return nil, fmt.Errorf("core: rank %d: %d submessages left undelivered", me, left)
+	}
+	msg.SortSubs(out.Subs)
+	return out, nil
+}
+
+// DirectExchange is the baseline scheme BL: every rank sends its payloads
+// straight to their destinations and receives from the ranks listed in
+// recvFrom (which the application knows, e.g. from its data distribution;
+// use SendSets.RecvSets or CountExchange to obtain it).
+func DirectExchange(c runtime.Comm, payloads map[int][]byte, recvFrom []int) (*Delivered, error) {
+	me := c.Rank()
+	const tag = tagBase - 1
+	out := &Delivered{}
+	for dst, data := range payloads {
+		if dst < 0 || dst >= c.Size() {
+			return nil, fmt.Errorf("core: rank %d: destination %d out of range", me, dst)
+		}
+		if dst == me {
+			out.Subs = append(out.Subs, msg.Submessage{Src: me, Dst: me, Data: data})
+			continue
+		}
+		m := msg.Message{From: me, To: dst, Subs: []msg.Submessage{{Src: me, Dst: dst, Data: data}}}
+		if err := c.Send(dst, tag, msg.Encode(nil, &m)); err != nil {
+			return nil, fmt.Errorf("core: rank %d direct send to %d: %w", me, dst, err)
+		}
+	}
+	for _, from := range recvFrom {
+		if from == me {
+			continue
+		}
+		raw, err := c.Recv(from, tag)
+		if err != nil {
+			return nil, fmt.Errorf("core: rank %d direct recv from %d: %w", me, from, err)
+		}
+		m, err := msg.Decode(raw)
+		if err != nil {
+			return nil, err
+		}
+		if m.From != from || m.To != me || len(m.Subs) != 1 {
+			return nil, fmt.Errorf("core: rank %d: malformed direct frame from %d", me, from)
+		}
+		out.Subs = append(out.Subs, m.Subs[0])
+	}
+	msg.SortSubs(out.Subs)
+	return out, nil
+}
+
+// CountExchange lets each rank learn which ranks will send to it without
+// global knowledge, using a hypercube-style regularized exchange of count
+// vectors (the same trick the STFW scheme itself uses for data). It returns
+// the sorted list of source ranks that have this rank in their send set.
+// K must match the communicator size; the call is collective.
+func CountExchange(c runtime.Comm, dests []int) ([]int, error) {
+	K := c.Size()
+	me := c.Rank()
+	t, err := bestEffortTopology(K)
+	if err != nil {
+		return nil, err
+	}
+	payloads := make(map[int][]byte, len(dests))
+	for _, dst := range dests {
+		payloads[dst] = []byte{} // empty announcement: "I will send to you"
+	}
+	got, err := Exchange(c, t, payloads)
+	if err != nil {
+		return nil, err
+	}
+	srcs := make([]int, 0, len(got.Subs))
+	for _, sub := range got.Subs {
+		if sub.Src != me {
+			srcs = append(srcs, sub.Src)
+		}
+	}
+	return srcs, nil
+}
+
+// bestEffortTopology returns the highest-dimensional balanced VPT for K
+// when K is a power of two, and the direct topology otherwise.
+func bestEffortTopology(K int) (*vpt.Topology, error) {
+	if K >= 2 && K&(K-1) == 0 {
+		return vpt.NewBalanced(K, vpt.MaxDim(K))
+	}
+	return vpt.Direct(K)
+}

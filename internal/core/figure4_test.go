@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"stfw/internal/vpt"
+)
+
+// TestPaperFigure4Scenario reproduces the structure of the paper's Figure 4
+// on T3(4,4,4), translated to 0-based digits (the paper writes coordinate
+// tuples as (P3, P2, P1) with dimension 1 rightmost and communicates
+// dimension 1 in stage 1):
+//
+//   - a source P_a whose SendSet lies entirely behind a single dimension-1
+//     neighbor P_g, so its stage-1 message M_ag aggregates all three
+//     submessages;
+//   - at P_g, one submessage is forwarded in stage 2 and the others in
+//     stage 3 (the scattering of Figure 5);
+//   - a second source P_b whose submessage for the same destination joins
+//     P_a's at the intermediate process and travels in the *same* stage-3
+//     frame (the merge property Algorithm 1's buffers create).
+func TestPaperFigure4Scenario(t *testing.T) {
+	tp := vpt.MustNew(4, 4, 4)
+	coords := func(d0, d1, d2 int) int { return tp.Rank([]int{d0, d1, d2}) }
+
+	a := coords(0, 1, 1) // P_a: differs from g in dimension 0 only
+	g := coords(2, 1, 1) // P_g: the stage-1 relay
+	e := coords(2, 3, 1) // dest reached from g by a stage-2 hop
+	c := coords(2, 1, 3) // dest reached from g by a stage-3 hop
+	d := coords(2, 1, 2) // dest reached from g by a stage-3 hop
+	b := coords(2, 0, 1) // P_b: reaches g in stage 2, also sends to c
+
+	sends := NewSendSets(tp.Size())
+	sends.Add(a, c, 1)
+	sends.Add(a, d, 1)
+	sends.Add(a, e, 1)
+	sends.Add(b, c, 1)
+	if err := sends.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPlan(tp, sends)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frame := func(stage, from, to int) *Frame {
+		for i := range plan.Stages[stage] {
+			f := &plan.Stages[stage][i]
+			if f.From == from && f.To == to {
+				return f
+			}
+		}
+		return nil
+	}
+
+	// Stage 1 (paper's first dimension): M_ag carries all three of P_a's
+	// submessages in one direct message.
+	mag := frame(0, a, g)
+	if mag == nil || mag.Subs != 3 || mag.Words != 3 {
+		t.Fatalf("M_ag = %+v, want 3 submessages", mag)
+	}
+	// P_a sends exactly one message in total: everything is aggregated.
+	if plan.SentMsgs[a] != 1 {
+		t.Errorf("P_a sent %d messages, want 1", plan.SentMsgs[a])
+	}
+
+	// Stage 2: P_g forwards only the submessage for e; P_b's message for c
+	// arrives at g in the same stage.
+	mge := frame(1, g, e)
+	if mge == nil || mge.Subs != 1 {
+		t.Fatalf("M_ge = %+v, want 1 submessage", mge)
+	}
+	mbg := frame(1, b, g)
+	if mbg == nil || mbg.Subs != 1 {
+		t.Fatalf("M_bg = %+v, want 1 submessage", mbg)
+	}
+
+	// Stage 3: the frame g -> c carries BOTH P_a's and P_b's submessages —
+	// submessages with distinct sources but the same destination travel in
+	// the same message once they meet (the paper's key aggregation point).
+	mgc := frame(2, g, c)
+	if mgc == nil || mgc.Subs != 2 || mgc.Words != 2 {
+		t.Fatalf("M_gc = %+v, want the merged 2-submessage frame", mgc)
+	}
+	mgd := frame(2, g, d)
+	if mgd == nil || mgd.Subs != 1 {
+		t.Fatalf("M_gd = %+v, want 1 submessage", mgd)
+	}
+
+	// Dual property: P_a's submessages for distinct destinations c and d
+	// leave g in distinct messages.
+	if mgc == mgd {
+		t.Fatal("frames for distinct destinations must differ")
+	}
+
+	// Forward counts match Hamming distances: each submessage is forwarded
+	// Hamming(src, dst) times; total frames = 5 (ag, bg, ge, gc, gd).
+	if plan.TotalMsgs != 5 {
+		t.Errorf("total frames = %d, want 5", plan.TotalMsgs)
+	}
+	wantVolume := int64(tp.Hamming(a, c) + tp.Hamming(a, d) + tp.Hamming(a, e) + tp.Hamming(b, c))
+	if plan.TotalWords != wantVolume {
+		t.Errorf("total volume = %d, want sum of Hamming distances %d", plan.TotalWords, wantVolume)
+	}
+
+	// And the live execution delivers everything (validated against the
+	// plan by the shared machinery).
+	got, cc := runExchange(t, tp, sends)
+	checkDeliveries(t, sends, got)
+	if cc.sentMsgs[a] != 1 || cc.sentMsgs[g] != 3 {
+		t.Errorf("executed counts: P_a=%d (want 1), P_g=%d (want 3)", cc.sentMsgs[a], cc.sentMsgs[g])
+	}
+}

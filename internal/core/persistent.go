@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"stfw/internal/msg"
+	"stfw/internal/runtime"
+	"stfw/internal/vpt"
+)
+
+// Persistent is a reusable store-and-forward exchange for a *fixed*
+// communication pattern — the common case in iterative applications, where
+// the same SpMV exchange repeats every iteration. The first (learning) run
+// executes Algorithm 1 normally while recording, per stage, the exact frame
+// layout this rank sends: which neighbors receive a frame and, inside each
+// frame, the ordered (src, dst) submessage slots. Subsequent runs replay
+// the layout with fresh payload bytes, skipping all routing decisions and
+// forward-buffer bookkeeping. This mirrors MPI's persistent (neighborhood)
+// collectives.
+//
+// A Persistent is owned by one rank and is not safe for concurrent use.
+type Persistent struct {
+	topo *vpt.Topology
+	rank int
+	// layout[d] lists the nonempty frames of stage d in send order.
+	layout [][]pFrame
+	// deliver lists the (src) ranks whose payloads end up at this rank, in
+	// the order Exchange returns them (sorted by src, then dst).
+	deliver []slotKey
+	// dests is the set of destinations the pattern was learned with; replay
+	// payloads must match it exactly.
+	dests map[int]struct{}
+}
+
+type slotKey struct{ src, dst int32 }
+
+type pFrame struct {
+	to    int
+	slots []slotKey
+}
+
+// NewPersistent performs the learning run: it executes the exchange for
+// payloads and returns the deliveries along with a Persistent that can
+// replay the same pattern. It is collective, like Exchange.
+func NewPersistent(c runtime.Comm, t *vpt.Topology, payloads map[int][]byte) (*Persistent, *Delivered, error) {
+	me := c.Rank()
+	if t.Size() != c.Size() {
+		return nil, nil, fmt.Errorf("core: topology size %d != communicator size %d", t.Size(), c.Size())
+	}
+	p := &Persistent{
+		topo:   t,
+		rank:   me,
+		layout: make([][]pFrame, t.N()),
+		dests:  make(map[int]struct{}, len(payloads)),
+	}
+	for dst := range payloads {
+		p.dests[dst] = struct{}{}
+	}
+
+	fb := msg.NewForwardBuffers(t.Dims())
+	out := &Delivered{}
+	for dst, data := range payloads {
+		if dst < 0 || dst >= t.Size() {
+			return nil, nil, fmt.Errorf("core: rank %d: destination %d out of range", me, dst)
+		}
+		if dst == me {
+			out.Subs = append(out.Subs, msg.Submessage{Src: me, Dst: me, Data: data})
+			continue
+		}
+		d := t.FirstDiff(me, dst)
+		fb.Put(d, t.Digit(dst, d), msg.Submessage{Src: me, Dst: dst, Data: data})
+	}
+
+	var encodeBuf []byte
+	for d := 0; d < t.N(); d++ {
+		tag := StageTag(d)
+		myDigit := t.Digit(me, d)
+		for x := 0; x < t.Dim(d); x++ {
+			if x == myDigit {
+				continue
+			}
+			to := t.WithDigit(me, d, x)
+			subs := fb.Take(d, x)
+			if len(subs) > 0 {
+				frame := pFrame{to: to, slots: make([]slotKey, len(subs))}
+				for i, s := range subs {
+					frame.slots[i] = slotKey{src: int32(s.Src), dst: int32(s.Dst)}
+				}
+				p.layout[d] = append(p.layout[d], frame)
+			}
+			m := msg.Message{From: me, To: to, Subs: subs}
+			encodeBuf = msg.Encode(encodeBuf[:0], &m)
+			if err := c.Send(to, tag, append([]byte(nil), encodeBuf...)); err != nil {
+				return nil, nil, fmt.Errorf("core: rank %d stage %d send to %d: %w", me, d, to, err)
+			}
+		}
+		for x := 0; x < t.Dim(d); x++ {
+			if x == myDigit {
+				continue
+			}
+			from := t.WithDigit(me, d, x)
+			raw, err := c.Recv(from, tag)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: rank %d stage %d recv from %d: %w", me, d, from, err)
+			}
+			m, err := msg.Decode(raw)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: rank %d stage %d frame from %d: %w", me, d, from, err)
+			}
+			if m.From != from || m.To != me {
+				return nil, nil, fmt.Errorf("core: rank %d stage %d: misrouted frame %d->%d from %d", me, d, m.From, m.To, from)
+			}
+			for _, sub := range m.Subs {
+				if sub.Dst == me {
+					out.Subs = append(out.Subs, sub)
+					continue
+				}
+				c2 := t.NextDiff(me, sub.Dst, d)
+				if c2 < 0 {
+					return nil, nil, fmt.Errorf("core: rank %d stage %d: submessage for %d cannot be forwarded", me, d, sub.Dst)
+				}
+				fb.Put(c2, t.Digit(sub.Dst, c2), sub)
+			}
+		}
+	}
+	if left := fb.SubCount(); left != 0 {
+		return nil, nil, fmt.Errorf("core: rank %d: %d submessages left undelivered", me, left)
+	}
+	msg.SortSubs(out.Subs)
+	for _, s := range out.Subs {
+		p.deliver = append(p.deliver, slotKey{src: int32(s.Src), dst: int32(s.Dst)})
+	}
+	return p, out, nil
+}
+
+// Run replays the learned pattern with new payload bytes. The destination
+// set must equal the learning run's exactly (payload sizes may differ). It
+// is collective: every rank of the original world must call Run the same
+// number of times.
+func (p *Persistent) Run(c runtime.Comm, payloads map[int][]byte) (*Delivered, error) {
+	me := p.rank
+	if c.Rank() != me || c.Size() != p.topo.Size() {
+		return nil, fmt.Errorf("core: persistent exchange bound to rank %d of %d", me, p.topo.Size())
+	}
+	if len(payloads) != len(p.dests) {
+		return nil, fmt.Errorf("core: persistent pattern has %d destinations, got %d", len(p.dests), len(payloads))
+	}
+	for dst := range payloads {
+		if _, ok := p.dests[dst]; !ok {
+			return nil, fmt.Errorf("core: destination %d not in the learned pattern", dst)
+		}
+	}
+
+	// store holds payload bytes by (src, dst): own payloads plus whatever
+	// arrived in earlier stages.
+	store := make(map[slotKey][]byte, len(payloads))
+	for dst, data := range payloads {
+		store[slotKey{src: int32(me), dst: int32(dst)}] = data
+	}
+
+	var encodeBuf []byte
+	t := p.topo
+	for d := 0; d < t.N(); d++ {
+		tag := StageTag(d)
+		myDigit := t.Digit(me, d)
+		// Send the learned nonempty frames plus empty frames to the other
+		// dimension-d neighbors (receive counts stay deterministic).
+		nonempty := map[int]*pFrame{}
+		for i := range p.layout[d] {
+			nonempty[p.layout[d][i].to] = &p.layout[d][i]
+		}
+		for x := 0; x < t.Dim(d); x++ {
+			if x == myDigit {
+				continue
+			}
+			to := t.WithDigit(me, d, x)
+			m := msg.Message{From: me, To: to}
+			if f := nonempty[to]; f != nil {
+				m.Subs = make([]msg.Submessage, len(f.slots))
+				for i, k := range f.slots {
+					data, ok := store[k]
+					if !ok {
+						return nil, fmt.Errorf("core: rank %d stage %d: missing payload %d->%d for learned slot",
+							me, d, k.src, k.dst)
+					}
+					m.Subs[i] = msg.Submessage{Src: int(k.src), Dst: int(k.dst), Data: data}
+					delete(store, k)
+				}
+			}
+			encodeBuf = msg.Encode(encodeBuf[:0], &m)
+			if err := c.Send(to, tag, append([]byte(nil), encodeBuf...)); err != nil {
+				return nil, fmt.Errorf("core: rank %d stage %d send to %d: %w", me, d, to, err)
+			}
+		}
+		for x := 0; x < t.Dim(d); x++ {
+			if x == myDigit {
+				continue
+			}
+			from := t.WithDigit(me, d, x)
+			raw, err := c.Recv(from, tag)
+			if err != nil {
+				return nil, fmt.Errorf("core: rank %d stage %d recv from %d: %w", me, d, from, err)
+			}
+			m, err := msg.Decode(raw)
+			if err != nil {
+				return nil, fmt.Errorf("core: rank %d stage %d frame from %d: %w", me, d, from, err)
+			}
+			for _, sub := range m.Subs {
+				store[slotKey{src: int32(sub.Src), dst: int32(sub.Dst)}] = sub.Data
+			}
+		}
+	}
+
+	out := &Delivered{Subs: make([]msg.Submessage, len(p.deliver))}
+	for i, k := range p.deliver {
+		data, ok := store[k]
+		if !ok {
+			return nil, fmt.Errorf("core: rank %d: learned delivery %d->%d did not arrive", me, k.src, k.dst)
+		}
+		out.Subs[i] = msg.Submessage{Src: int(k.src), Dst: int(k.dst), Data: data}
+	}
+	return out, nil
+}
+
+// Destinations returns the learned destination set, sorted.
+func (p *Persistent) Destinations() []int {
+	out := make([]int, 0, len(p.dests))
+	for d := range p.dests {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}

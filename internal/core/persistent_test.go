@@ -1,0 +1,233 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"stfw/internal/runtime"
+	"stfw/internal/transport/chanpt"
+	"stfw/internal/vpt"
+)
+
+// runPersistent learns a pattern on every rank, replays it iters times with
+// varying payloads, and checks each replay delivers exactly what a fresh
+// Exchange would.
+func runPersistent(t *testing.T, tp *vpt.Topology, s *SendSets, iters int) {
+	t.Helper()
+	K := tp.Size()
+	recv := s.RecvSets()
+	w, err := chanpt.NewWorld(K, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c runtime.Comm) error {
+		me := c.Rank()
+		mkPayloads := func(round int) map[int][]byte {
+			out := map[int][]byte{}
+			for _, pr := range s.Sets[me] {
+				// Payload varies per round (and per pair), size varies too.
+				n := int(pr.Words) + round%3
+				buf := make([]byte, n)
+				for i := range buf {
+					buf[i] = byte(me ^ pr.Dst ^ round ^ i)
+				}
+				out[pr.Dst] = buf
+			}
+			return out
+		}
+		check := func(round int, d *Delivered) error {
+			want := recv[me]
+			if len(d.Subs) != len(want) {
+				return fmt.Errorf("round %d rank %d: %d deliveries, want %d", round, me, len(d.Subs), len(want))
+			}
+			for i, pr := range want {
+				sub := d.Subs[i]
+				if sub.Src != pr.Dst {
+					return fmt.Errorf("round %d rank %d: delivery %d from %d, want %d", round, me, i, sub.Src, pr.Dst)
+				}
+				n := int(pr.Words) + round%3
+				wantData := make([]byte, n)
+				for j := range wantData {
+					wantData[j] = byte(sub.Src ^ me ^ round ^ j)
+				}
+				if !bytes.Equal(sub.Data, wantData) {
+					return fmt.Errorf("round %d rank %d: payload from %d corrupted", round, me, sub.Src)
+				}
+			}
+			return nil
+		}
+
+		p, first, err := NewPersistent(c, tp, mkPayloads(0))
+		if err != nil {
+			return err
+		}
+		if err := check(0, first); err != nil {
+			return err
+		}
+		for round := 1; round <= iters; round++ {
+			d, err := p.Run(c, mkPayloads(round))
+			if err != nil {
+				return fmt.Errorf("round %d: %w", round, err)
+			}
+			if err := check(round, d); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistentReplaysPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, dims := range [][]int{{4, 4}, {2, 2, 2, 2}, {8, 2}, {16}} {
+		tp := vpt.MustNew(dims...)
+		s := randomSendSets(rng, tp.Size(), 2, 3, 4)
+		runPersistent(t, tp, s, 4)
+	}
+}
+
+func TestPersistentMatchesExchangeDeliveries(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	tp := vpt.MustNew(4, 2, 2)
+	s := randomSendSets(rng, 16, 1, 2, 3)
+	// Learning run itself must equal a plain Exchange (both validated
+	// against RecvSets by runPersistent and checkDeliveries).
+	runPersistent(t, tp, s, 1)
+	got, _ := runExchange(t, tp, s)
+	checkDeliveries(t, s, got)
+}
+
+func TestPersistentRejectsPatternDrift(t *testing.T) {
+	tp := vpt.MustNew(2, 2)
+	w, _ := chanpt.NewWorld(4, 2)
+	err := w.Run(func(c runtime.Comm) error {
+		me := c.Rank()
+		payloads := map[int][]byte{(me + 1) % 4: {1}}
+		p, _, err := NewPersistent(c, tp, payloads)
+		if err != nil {
+			return err
+		}
+		// Wrong destination set: replaced destination.
+		if _, err := p.Run(c, map[int][]byte{(me + 2) % 4: {1}}); err == nil {
+			return fmt.Errorf("rank %d: drifted destination accepted", me)
+		}
+		// Wrong destination count.
+		if _, err := p.Run(c, map[int][]byte{}); err == nil {
+			return fmt.Errorf("rank %d: missing destination accepted", me)
+		}
+		// A correct replay still works afterwards (failed validations must
+		// not consume traffic).
+		d, err := p.Run(c, map[int][]byte{(me + 1) % 4: {9}})
+		if err != nil {
+			return err
+		}
+		if len(d.Subs) != 1 || d.Subs[0].Data[0] != 9 {
+			return fmt.Errorf("rank %d: replay after rejects broken: %+v", me, d.Subs)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistentDestinations(t *testing.T) {
+	tp := vpt.MustNew(2, 2)
+	w, _ := chanpt.NewWorld(4, 2)
+	err := w.Run(func(c runtime.Comm) error {
+		me := c.Rank()
+		payloads := map[int][]byte{(me + 1) % 4: {1}, (me + 2) % 4: {2}}
+		p, _, err := NewPersistent(c, tp, payloads)
+		if err != nil {
+			return err
+		}
+		ds := p.Destinations()
+		if len(ds) != 2 {
+			return fmt.Errorf("rank %d: destinations %v", me, ds)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistentSelfSend(t *testing.T) {
+	tp := vpt.MustNew(2, 2)
+	w, _ := chanpt.NewWorld(4, 2)
+	err := w.Run(func(c runtime.Comm) error {
+		p, first, err := NewPersistent(c, tp, map[int][]byte{c.Rank(): []byte("self")})
+		if err != nil {
+			return err
+		}
+		if len(first.Subs) != 1 || string(first.Subs[0].Data) != "self" {
+			return fmt.Errorf("learning self-send lost")
+		}
+		d, err := p.Run(c, map[int][]byte{c.Rank(): []byte("again")})
+		if err != nil {
+			return err
+		}
+		if len(d.Subs) != 1 || string(d.Subs[0].Data) != "again" {
+			return fmt.Errorf("replayed self-send lost: %+v", d.Subs)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPersistentVsExchange(b *testing.B) {
+	tp, _ := vpt.NewBalanced(64, 3)
+	rng := rand.New(rand.NewSource(71))
+	s := randomSendSets(rng, 64, 2, 3, 4)
+	payloadsFor := func(me int) map[int][]byte {
+		out := map[int][]byte{}
+		for _, pr := range s.Sets[me] {
+			out[pr.Dst] = make([]byte, pr.Words*8)
+		}
+		return out
+	}
+	b.Run("exchange", func(b *testing.B) {
+		w, _ := chanpt.NewWorld(64, 2)
+		comms := w.Comms()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			err := runtime.Run(comms, func(c runtime.Comm) error {
+				_, err := Exchange(c, tp, payloadsFor(c.Rank()))
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("persistent", func(b *testing.B) {
+		w, _ := chanpt.NewWorld(64, 2)
+		comms := w.Comms()
+		ps := make([]*Persistent, 64)
+		err := runtime.Run(comms, func(c runtime.Comm) error {
+			p, _, err := NewPersistent(c, tp, payloadsFor(c.Rank()))
+			ps[c.Rank()] = p
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			err := runtime.Run(comms, func(c runtime.Comm) error {
+				_, err := ps[c.Rank()].Run(c, payloadsFor(c.Rank()))
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"stfw/internal/core"
+	"stfw/internal/mapping"
+	"stfw/internal/metrics"
+	"stfw/internal/netsim"
+	"stfw/internal/partition"
+	"stfw/internal/spmv"
+	"stfw/internal/vpt"
+)
+
+// This file holds the ablation studies DESIGN.md calls out, beyond the
+// paper's own tables: the effect of the partitioner (the paper simply uses
+// PaToH; we quantify what the partitioner contributes), the skewed
+// dimension-size trade-off Section 5 mentions but does not explore, and the
+// Section 8 future-work mappings (process-to-VPT and process-to-physical).
+
+// PartitionerRow reports the Table-2 metrics of one partitioner on one
+// scheme.
+type PartitionerRow struct {
+	Partitioner string
+	Scheme      string
+	Summary     metrics.Summary
+}
+
+// PartitionerAblation compares block, random and greedy partitionings of
+// one matrix at K ranks under BL and a mid-dimension STFW, pricing on
+// BG/Q. It shows (i) a communication-aware partitioner reduces both volume
+// and message count, and (ii) STFW's regularization helps under every
+// partitioner — the two optimizations compose.
+func PartitionerAblation(cfg Config, name string, K int) ([]PartitionerRow, error) {
+	m, err := cache.matrix(name, cfg.scale())
+	if err != nil {
+		return nil, err
+	}
+	mach, err := netsim.BlueGeneQ(K)
+	if err != nil {
+		return nil, err
+	}
+	type pt struct {
+		label string
+		build func() (*partition.Partition, error)
+	}
+	parts := []pt{
+		{"block", func() (*partition.Partition, error) { return partition.Block(m.Rows, K) }},
+		{"random", func() (*partition.Partition, error) { return partition.Random(m.Rows, K, 1) }},
+		{"rcm", func() (*partition.Partition, error) { return partition.BlockRCM(m, K) }},
+		{"greedy", func() (*partition.Partition, error) { return partition.Greedy(m, K, partition.DefaultGreedy()) }},
+	}
+	dim := 4
+	if max := vpt.MaxDim(K); dim > max {
+		dim = max
+	}
+	var out []PartitionerRow
+	for _, p := range parts {
+		part, err := p.build()
+		if err != nil {
+			return nil, err
+		}
+		pat, err := spmv.BuildPattern(m, part)
+		if err != nil {
+			return nil, err
+		}
+		sends, err := pat.SendSets()
+		if err != nil {
+			return nil, err
+		}
+		inst := &Instance{Matrix: name, K: K, Sends: sends, NNZ: pat.NNZ}
+		for _, n := range []int{1, dim} {
+			sum, err := EvalScheme(inst, mach, n)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, PartitionerRow{Partitioner: p.label, Scheme: SchemeName(n), Summary: sum})
+		}
+	}
+	return out, nil
+}
+
+// RenderPartitionerAblation prints the comparison.
+func RenderPartitionerAblation(w io.Writer, name string, K int, rows []PartitionerRow) {
+	fmt.Fprintf(w, "Partitioner ablation: %s at K=%d (BlueGene/Q model)\n", name, K)
+	fmt.Fprintf(w, "%-10s %-8s %8s %8s %9s %11s\n", "partition", "scheme", "mmax", "mavg", "vavg", "comm(us)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-8s %8.1f %8.1f %9.0f %11.1f\n",
+			r.Partitioner, r.Scheme, r.Summary.MMax, r.Summary.MAvg, r.Summary.VAvg,
+			netsim.Microseconds(r.Summary.CommTime))
+	}
+}
+
+// SkewRow reports one skew setting of the fixed-dimension trade-off.
+type SkewRow struct {
+	Skew     float64
+	Topology string
+	Bound    int
+	Summary  metrics.Summary
+}
+
+// SkewAblation explores the Section 5 trade-off at fixed dimension n:
+// skewing the dimension sizes away from balanced raises the message-count
+// bound but lowers forwarding volume.
+func SkewAblation(cfg Config, name string, K, n int) ([]SkewRow, error) {
+	inst, err := Prepare(cfg, name, K)
+	if err != nil {
+		return nil, err
+	}
+	mach, err := netsim.BlueGeneQ(K)
+	if err != nil {
+		return nil, err
+	}
+	var out []SkewRow
+	for _, skew := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		tp, err := vpt.NewSkewed(K, n, skew)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := core.BuildPlan(tp, inst.Sends)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := metrics.Summarize(fmt.Sprintf("skew%.2f", skew), plan, inst.Sends)
+		if err != nil {
+			return nil, err
+		}
+		sum.CommTime, err = netsim.CommTime(mach, plan)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SkewRow{
+			Skew: skew, Topology: tp.String(), Bound: core.MaxMessageBound(tp), Summary: sum,
+		})
+	}
+	return out, nil
+}
+
+// RenderSkewAblation prints the skew sweep.
+func RenderSkewAblation(w io.Writer, name string, K, n int, rows []SkewRow) {
+	fmt.Fprintf(w, "Skew ablation: %s at K=%d, fixed dimension n=%d\n", name, K, n)
+	fmt.Fprintf(w, "%-6s %-22s %6s %8s %9s %11s\n", "skew", "topology", "bound", "mmax", "vavg", "comm(us)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6.2f %-22s %6d %8.1f %9.0f %11.1f\n",
+			r.Skew, r.Topology, r.Bound, r.Summary.MMax, r.Summary.VAvg,
+			netsim.Microseconds(r.Summary.CommTime))
+	}
+}
+
+// MappingRow reports one placement strategy.
+type MappingRow struct {
+	Strategy string
+	VolWords int64   // forwarded volume (VPT mapping objective)
+	CommUS   float64 // priced communication time
+}
+
+// MappingAblation evaluates the Section 8 future-work mappings on one
+// instance and a mid-dimension VPT: identity, the volume-aware VPT
+// mapping, the physical placement, and both combined.
+func MappingAblation(cfg Config, name string, K, n int) ([]MappingRow, error) {
+	inst, err := Prepare(cfg, name, K)
+	if err != nil {
+		return nil, err
+	}
+	tp, err := vpt.NewBalanced(K, n)
+	if err != nil {
+		return nil, err
+	}
+	mach, err := netsim.CrayXK7(K)
+	if err != nil {
+		return nil, err
+	}
+	eval := func(strategy string, sends *core.SendSets, placed *netsim.Machine) (MappingRow, error) {
+		plan, err := core.BuildPlan(tp, sends)
+		if err != nil {
+			return MappingRow{}, err
+		}
+		tm, err := netsim.CommTime(placed, plan)
+		if err != nil {
+			return MappingRow{}, err
+		}
+		return MappingRow{Strategy: strategy, VolWords: plan.TotalWords, CommUS: netsim.Microseconds(tm)}, nil
+	}
+
+	var out []MappingRow
+	row, err := eval("identity", inst.Sends, mach)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, row)
+
+	vperm, _, err := mapping.Greedy(tp, inst.Sends, mapping.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	vmapped, err := mapping.Apply(inst.Sends, vperm)
+	if err != nil {
+		return nil, err
+	}
+	row, err = eval("vpt-map", vmapped, mach)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, row)
+
+	pperm, _, err := mapping.PhysicalGreedy(mach, inst.Sends, mapping.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	placed, err := mach.WithPlacement(pperm)
+	if err != nil {
+		return nil, err
+	}
+	row, err = eval("phys-map", inst.Sends, placed)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, row)
+
+	// Combined: remap the send sets in the VPT, then place the remapped
+	// ranks physically.
+	pperm2, _, err := mapping.PhysicalGreedy(mach, vmapped, mapping.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	placed2, err := mach.WithPlacement(pperm2)
+	if err != nil {
+		return nil, err
+	}
+	row, err = eval("both", vmapped, placed2)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, row)
+	return out, nil
+}
+
+// RenderMappingAblation prints the mapping comparison.
+func RenderMappingAblation(w io.Writer, name string, K, n int, rows []MappingRow) {
+	fmt.Fprintf(w, "Mapping ablation (Section 8 future work): %s at K=%d, T%d (Cray XK7 model)\n", name, K, n)
+	fmt.Fprintf(w, "%-10s %14s %11s\n", "strategy", "volume(words)", "comm(us)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %14d %11.1f\n", r.Strategy, r.VolWords, r.CommUS)
+	}
+}

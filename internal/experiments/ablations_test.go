@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPartitionerAblation(t *testing.T) {
+	rows, err := PartitionerAblation(testCfg, "GaAsH6", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 4 partitioners x {BL, STFWn}
+		t.Fatalf("%d rows", len(rows))
+	}
+	byKey := map[string]PartitionerRow{}
+	for _, r := range rows {
+		byKey[r.Partitioner+"/"+r.Scheme] = r
+	}
+	// The greedy partitioner must beat random on volume under BL (that is
+	// its whole point).
+	if byKey["greedy/BL"].Summary.VAvg >= byKey["random/BL"].Summary.VAvg {
+		t.Errorf("greedy BL vavg %.0f not below random %.0f",
+			byKey["greedy/BL"].Summary.VAvg, byKey["random/BL"].Summary.VAvg)
+	}
+	// STFW must reduce mmax under every partitioner: the two compose.
+	for _, p := range []string{"block", "random", "rcm", "greedy"} {
+		bl := byKey[p+"/BL"].Summary
+		st := byKey[p+"/STFW4"].Summary
+		if st.MMax >= bl.MMax {
+			t.Errorf("%s: STFW mmax %.1f not below BL %.1f", p, st.MMax, bl.MMax)
+		}
+	}
+	var buf bytes.Buffer
+	RenderPartitionerAblation(&buf, "GaAsH6", 64, rows)
+	if !strings.Contains(buf.String(), "greedy") {
+		t.Error("render missing partitioner")
+	}
+}
+
+func TestSkewAblation(t *testing.T) {
+	rows, err := SkewAblation(testCfg, "gupta2", 256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Monotone trade-off: bound rises with skew, volume falls.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Bound < rows[i-1].Bound {
+			t.Errorf("bound not monotone at skew %.2f", rows[i].Skew)
+		}
+		if rows[i].Summary.VAvg > rows[i-1].Summary.VAvg*1.001 {
+			t.Errorf("volume rose with skew %.2f: %.0f > %.0f",
+				rows[i].Skew, rows[i].Summary.VAvg, rows[i-1].Summary.VAvg)
+		}
+	}
+	if rows[0].Bound >= rows[len(rows)-1].Bound {
+		t.Error("skew had no effect on the bound")
+	}
+	if rows[0].Summary.VAvg <= rows[len(rows)-1].Summary.VAvg {
+		t.Error("skew had no effect on volume")
+	}
+	var buf bytes.Buffer
+	RenderSkewAblation(&buf, "gupta2", 256, 4, rows)
+	if !strings.Contains(buf.String(), "topology") {
+		t.Error("render header missing")
+	}
+}
+
+func TestMappingAblation(t *testing.T) {
+	rows, err := MappingAblation(testCfg, "coAuthorsDBLP", 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]MappingRow{}
+	for _, r := range rows {
+		byName[r.Strategy] = r
+	}
+	id := byName["identity"]
+	// The VPT mapping must not increase forwarded volume; the physical
+	// mapping must not increase comm time.
+	if byName["vpt-map"].VolWords > id.VolWords {
+		t.Errorf("vpt mapping raised volume: %d vs %d", byName["vpt-map"].VolWords, id.VolWords)
+	}
+	if byName["phys-map"].CommUS > id.CommUS*1.0001 {
+		t.Errorf("physical mapping raised comm time: %.1f vs %.1f", byName["phys-map"].CommUS, id.CommUS)
+	}
+	if byName["phys-map"].VolWords != id.VolWords {
+		t.Error("physical mapping must not change the schedule volume")
+	}
+	var buf bytes.Buffer
+	RenderMappingAblation(&buf, "coAuthorsDBLP", 64, 3, rows)
+	if !strings.Contains(buf.String(), "identity") {
+		t.Error("render missing strategy")
+	}
+}

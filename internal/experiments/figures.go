@@ -1,0 +1,391 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"stfw/internal/core"
+	"stfw/internal/metrics"
+	"stfw/internal/netsim"
+)
+
+// Figure1Series is the per-process send count profile of one matrix under
+// the direct scheme, the data behind Figure 1.
+type Figure1Series struct {
+	Matrix string
+	K      int
+	Counts []int
+	Max    int
+	Avg    float64
+}
+
+// Figure1Matrices are the three instances plotted in Figure 1.
+var Figure1Matrices = []string{"pattern1", "pkustk04", "sparsine"}
+
+// Figure1 computes the per-process message counts of the three Figure-1
+// matrices at K=256 under the baseline.
+func Figure1(cfg Config) ([]Figure1Series, error) {
+	return Figure1At(cfg, 256)
+}
+
+// Figure1At is Figure1 at a custom process count.
+func Figure1At(cfg Config, K int) ([]Figure1Series, error) {
+	out := make([]Figure1Series, 0, len(Figure1Matrices))
+	for _, name := range Figure1Matrices {
+		inst, err := Prepare(cfg, name, K)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := core.BuildDirectPlan(inst.Sends)
+		if err != nil {
+			return nil, err
+		}
+		counts, max, avg := metrics.Histogram(plan)
+		out = append(out, Figure1Series{Matrix: name, K: K, Counts: counts, Max: max, Avg: avg})
+	}
+	return out, nil
+}
+
+// RenderFigure1 prints each series as a compact histogram summary plus an
+// ASCII sparkline of the per-process counts.
+func RenderFigure1(w io.Writer, series []Figure1Series) {
+	fmt.Fprintf(w, "Figure 1: per-process send counts under BL\n")
+	for _, s := range series {
+		fmt.Fprintf(w, "\n%s (K=%d): max=%d avg=%.1f\n", s.Matrix, s.K, s.Max, s.Avg)
+		fmt.Fprintf(w, "%s\n", sparkline(s.Counts, 128))
+	}
+}
+
+// sparkline renders counts as a fixed-width ASCII profile.
+func sparkline(counts []int, width int) string {
+	if len(counts) == 0 {
+		return ""
+	}
+	if width > len(counts) {
+		width = len(counts)
+	}
+	levels := []byte(" .:-=+*#%@")
+	max := 1
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	out := make([]byte, width)
+	per := float64(len(counts)) / float64(width)
+	for i := 0; i < width; i++ {
+		lo := int(float64(i) * per)
+		hi := int(float64(i+1) * per)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		peak := 0
+		for _, c := range counts[lo:hi] {
+			if c > peak {
+				peak = c
+			}
+		}
+		idx := peak * (len(levels) - 1) / max
+		out[i] = levels[idx]
+	}
+	return string(out)
+}
+
+// Figure6Row is one normalized bar group of Figure 6: every STFW metric
+// divided by the BL value at K=256.
+type Figure6Row struct {
+	Dim                                  int
+	CommTime, SpMVTime, VAvg, MMax, MAvg float64 // normalized to BL
+}
+
+// Figure6 normalizes the Table-2 metrics at K=256 to BL.
+func Figure6(cfg Config) ([]Figure6Row, error) {
+	return Figure6At(cfg, 256)
+}
+
+// Figure6At is Figure6 at a custom process count.
+func Figure6At(cfg Config, K int) ([]Figure6Row, error) {
+	blocks, err := table2Over(cfg, []int{K})
+	if err != nil {
+		return nil, err
+	}
+	rows := blocks[0].Rows
+	bl := rows[0]
+	out := make([]Figure6Row, 0, len(rows)-1)
+	for i, r := range rows[1:] {
+		out = append(out, Figure6Row{
+			Dim:      i + 2,
+			CommTime: r.CommTime / bl.CommTime,
+			SpMVTime: r.SpMVTime / bl.SpMVTime,
+			VAvg:     r.VAvg / bl.VAvg,
+			MMax:     r.MMax / bl.MMax,
+			MAvg:     r.MAvg / bl.MAvg,
+		})
+	}
+	return out, nil
+}
+
+// RenderFigure6 prints the normalized metric table.
+func RenderFigure6(w io.Writer, rows []Figure6Row) {
+	fmt.Fprintf(w, "Figure 6: STFW metrics normalized to BL (y<1 means STFW is 1/y better)\n")
+	fmt.Fprintf(w, "%-5s %9s %9s %9s %9s %9s\n", "dim", "comm", "spmv", "vavg", "mmax", "mavg")
+	for _, r := range rows {
+		fmt.Fprintf(w, "T%-4d %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+			r.Dim, r.CommTime, r.SpMVTime, r.VAvg, r.MMax, r.MAvg)
+	}
+}
+
+// Figure7Panel is the per-matrix detail of Figure 7: all schemes on one
+// matrix at K=256.
+type Figure7Panel struct {
+	Matrix string
+	Rows   []metrics.Summary
+}
+
+// Figure7Matrices are the two contrasted instances.
+var Figure7Matrices = []string{"GaAsH6", "coAuthorsDBLP"}
+
+// Figure7 compares GaAsH6 (volume-heavier) and coAuthorsDBLP (more
+// latency-bound) across all schemes at K=256 on BG/Q.
+func Figure7(cfg Config) ([]Figure7Panel, error) {
+	return Figure7At(cfg, 256)
+}
+
+// Figure7At is Figure7 at a custom process count.
+func Figure7At(cfg Config, K int) ([]Figure7Panel, error) {
+	m, err := netsim.BlueGeneQ(K)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Figure7Panel, 0, len(Figure7Matrices))
+	for _, name := range Figure7Matrices {
+		inst, err := Prepare(cfg, name, K)
+		if err != nil {
+			return nil, err
+		}
+		panel := Figure7Panel{Matrix: name}
+		for _, n := range append([]int{1}, AllDims(K)...) {
+			sum, err := EvalScheme(inst, m, n)
+			if err != nil {
+				return nil, err
+			}
+			panel.Rows = append(panel.Rows, sum)
+		}
+		out = append(out, panel)
+	}
+	return out, nil
+}
+
+// RenderFigure7 prints the four panels' data (volume, message counts, SpMV
+// time) per matrix.
+func RenderFigure7(w io.Writer, panels []Figure7Panel) {
+	fmt.Fprintf(w, "Figure 7: detailed comparison at K=256 (BlueGene/Q model)\n")
+	for _, p := range panels {
+		fmt.Fprintf(w, "\n%s\n%-8s %9s %8s %8s %11s\n", p.Matrix, "scheme", "vavg", "mavg", "mmax", "spmv(us)")
+		for _, r := range p.Rows {
+			fmt.Fprintf(w, "%-8s %9.0f %8.1f %8.1f %11.0f\n",
+				r.Scheme, r.VAvg, r.MAvg, r.MMax, netsim.Microseconds(r.SpMVTime))
+		}
+	}
+}
+
+// Figure8Series is one line of one Figure-8 subplot: SpMV time vs K for one
+// scheme on one matrix.
+type Figure8Series struct {
+	Matrix string
+	Scheme string
+	Ks     []int
+	SpMVus []float64 // microseconds, parallel SpMV time
+}
+
+// Figure8Matrices are the 12 instances plotted in Figure 8.
+var Figure8Matrices = []string{
+	"coAuthorsDBLP", "coPapersCiteseer", "fe_rotor", "GaAsH6",
+	"gupta2", "human_gene2", "nd3k", "net125",
+	"pattern1", "pkustk04", "sparsine", "TSOPF_FS_b300_c2",
+}
+
+// Figure8Ks are the strong-scaling process counts.
+var Figure8Ks = []int{32, 64, 128, 256, 512}
+
+// Figure8 produces the scalability lines: BL and the even STFW dimensions
+// for each matrix across the five process counts on BG/Q.
+func Figure8(cfg Config) ([]Figure8Series, error) {
+	return Figure8Over(cfg, Figure8Matrices, Figure8Ks)
+}
+
+// Figure8Over runs Figure 8 on custom matrices/process counts.
+func Figure8Over(cfg Config, names []string, Ks []int) ([]Figure8Series, error) {
+	var out []Figure8Series
+	for _, name := range names {
+		// BL plus even dims; a scheme is present only at the K values that
+		// admit it (STFW6 needs K >= 64, STFW8 needs K >= 256).
+		series := map[int]*Figure8Series{}
+		for _, K := range Ks {
+			m, err := netsim.BlueGeneQ(K)
+			if err != nil {
+				return nil, err
+			}
+			inst, err := Prepare(cfg, name, K)
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range append([]int{1}, EvenDims(K)...) {
+				sum, err := EvalScheme(inst, m, n)
+				if err != nil {
+					return nil, err
+				}
+				sr := series[n]
+				if sr == nil {
+					sr = &Figure8Series{Matrix: name, Scheme: SchemeName(n)}
+					series[n] = sr
+				}
+				sr.Ks = append(sr.Ks, K)
+				sr.SpMVus = append(sr.SpMVus, netsim.Microseconds(sum.SpMVTime))
+			}
+		}
+		for _, n := range []int{1, 2, 4, 6, 8} {
+			if sr := series[n]; sr != nil {
+				out = append(out, *sr)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RenderFigure8 prints each matrix's runtime-vs-K lines.
+func RenderFigure8(w io.Writer, series []Figure8Series) {
+	fmt.Fprintf(w, "Figure 8: parallel SpMV runtime (us) vs K (BlueGene/Q model)\n")
+	last := ""
+	for _, s := range series {
+		if s.Matrix != last {
+			fmt.Fprintf(w, "\n%s\n", s.Matrix)
+			last = s.Matrix
+		}
+		fmt.Fprintf(w, "  %-7s", s.Scheme)
+		for i, K := range s.Ks {
+			fmt.Fprintf(w, "  K=%d:%8.0f", K, s.SpMVus[i])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Figure9Bar is one bar of Figure 9: the comm time of a scheme at K on a
+// machine.
+type Figure9Bar struct {
+	Machine string
+	K       int
+	Scheme  string
+	CommUS  float64
+}
+
+// Figure9Ks are the process counts compared across networks.
+var Figure9Ks = []int{128, 512}
+
+// Figure9 compares BL and every STFW dimension on the BG/Q torus and the
+// XC40 dragonfly at 128 and 512 processes (geomean over top-15 matrices).
+func Figure9(cfg Config) ([]Figure9Bar, error) {
+	return Figure9Over(cfg, Figure9Ks)
+}
+
+// Figure9Over runs Figure 9 for custom process counts.
+func Figure9Over(cfg Config, Ks []int) ([]Figure9Bar, error) {
+	names := sparseTop15()
+	var out []Figure9Bar
+	for _, K := range Ks {
+		for _, mach := range []string{"bgq", "xc40"} {
+			m, err := MachineFor(mach, K)
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range append([]int{1}, AllDims(K)...) {
+				agg, _, err := EvalSuite(cfg, names, K, m, n)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Figure9Bar{
+					Machine: m.Name, K: K, Scheme: SchemeName(n),
+					CommUS: netsim.Microseconds(agg.CommTime),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// RenderFigure9 prints the grouped bars.
+func RenderFigure9(w io.Writer, bars []Figure9Bar) {
+	fmt.Fprintf(w, "Figure 9: communication time (us) on Torus vs Dragonfly\n")
+	lastKey := ""
+	for _, b := range bars {
+		key := fmt.Sprintf("%d processes, %s", b.K, b.Machine)
+		if key != lastKey {
+			fmt.Fprintf(w, "\n%s\n", key)
+			lastKey = key
+		}
+		fmt.Fprintf(w, "  %-8s %10.0f\n", b.Scheme, b.CommUS)
+	}
+}
+
+// Figure10Row is one matrix's comm-time bars at 16K processes on the XK7.
+type Figure10Row struct {
+	Matrix string
+	BLus   float64
+	Dims   []int
+	STFWus []float64
+}
+
+// Figure10 reports per-matrix communication times of all Section 6.5
+// schemes at the largest scale (16K processes, Cray XK7).
+func Figure10(cfg Config) ([]Figure10Row, error) {
+	return Figure10At(cfg, 16384)
+}
+
+// Figure10At is Figure10 at a custom process count.
+func Figure10At(cfg Config, K int) ([]Figure10Row, error) {
+	m, err := MachineFor("xk7", K)
+	if err != nil {
+		return nil, err
+	}
+	names := sparseBottom10()
+	dims := LargeScaleDims(K)
+	out := make([]Figure10Row, 0, len(names))
+	for _, name := range names {
+		inst, err := Prepare(cfg, name, K)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure10Row{Matrix: name, Dims: dims}
+		bl, err := EvalScheme(inst, m, 1)
+		if err != nil {
+			return nil, err
+		}
+		row.BLus = netsim.Microseconds(bl.CommTime)
+		for _, n := range dims {
+			sum, err := EvalScheme(inst, m, n)
+			if err != nil {
+				return nil, err
+			}
+			row.STFWus = append(row.STFWus, netsim.Microseconds(sum.CommTime))
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderFigure10 prints the per-matrix bars with BL as reference text, the
+// way the figure annotates it.
+func RenderFigure10(w io.Writer, rows []Figure10Row) {
+	fmt.Fprintf(w, "Figure 10: communication times per matrix (Cray XK7 model)\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "\n%-18s BL: %.0f us\n", r.Matrix, r.BLus)
+		for i, n := range r.Dims {
+			fmt.Fprintf(w, "  %-8s %10.0f\n", SchemeName(n), r.STFWus[i])
+		}
+	}
+}
+
+// sparseTop15 and sparseBottom10 are tiny indirections to avoid an import
+// cycle in future refactors and keep figure code free of sparse imports.
+func sparseTop15() []string    { return top15() }
+func sparseBottom10() []string { return bottom10() }

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stfw/internal/core"
+	"stfw/internal/metrics"
+	"stfw/internal/netsim"
+	"stfw/internal/vpt"
+)
+
+// SchemeName renders "BL" or "STFWn".
+func SchemeName(n int) string {
+	if n <= 1 {
+		return "BL"
+	}
+	return fmt.Sprintf("STFW%d", n)
+}
+
+// EvalScheme routes one instance's send sets under the scheme (n <= 1 = BL,
+// otherwise STFW with a balanced n-dimensional VPT), prices it on the
+// machine, and returns the full Table-2-style summary.
+func EvalScheme(inst *Instance, m *netsim.Machine, n int) (metrics.Summary, error) {
+	var plan *core.Plan
+	var err error
+	if n <= 1 {
+		plan, err = core.BuildDirectPlan(inst.Sends)
+	} else {
+		var tp *vpt.Topology
+		tp, err = vpt.NewBalanced(inst.K, n)
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		plan, err = core.BuildPlan(tp, inst.Sends)
+	}
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	sum, err := metrics.Summarize(SchemeName(n), plan, inst.Sends)
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	sum.CommTime, err = netsim.CommTime(m, plan)
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	sum.SpMVTime, err = netsim.SpMVTime(m, plan, inst.NNZ)
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	return sum, nil
+}
+
+// EvalSuite evaluates one scheme over a suite of matrices at fixed K and
+// returns the geometric-mean aggregate plus the per-matrix rows.
+func EvalSuite(cfg Config, names []string, K int, m *netsim.Machine, n int) (metrics.Summary, []metrics.Summary, error) {
+	rows := make([]metrics.Summary, 0, len(names))
+	for _, name := range names {
+		inst, err := Prepare(cfg, name, K)
+		if err != nil {
+			return metrics.Summary{}, nil, fmt.Errorf("%s: %w", name, err)
+		}
+		sum, err := EvalScheme(inst, m, n)
+		if err != nil {
+			return metrics.Summary{}, nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, sum)
+	}
+	return metrics.Aggregate(SchemeName(n), rows), rows, nil
+}

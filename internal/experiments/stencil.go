@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"stfw/internal/core"
+	"stfw/internal/metrics"
+	"stfw/internal/netsim"
+	"stfw/internal/vpt"
+)
+
+// The stencil experiment is a negative control the paper's introduction
+// implies: for communication that is already regular — a 2D 5-point halo
+// exchange, where every process talks to exactly 4 neighbors — there is no
+// latency imbalance to fix, so the store-and-forward scheme can only add
+// forwarding. A faithful implementation must show STFW *not* helping here.
+
+// StencilSendSets builds the 5-point halo exchange pattern on a px x py
+// process grid (wrap-around, like a periodic domain): each rank sends
+// `words` words to its four grid neighbors.
+func StencilSendSets(px, py int, words int64) (*core.SendSets, error) {
+	if px < 2 || py < 2 {
+		return nil, fmt.Errorf("experiments: stencil grid %dx%d too small", px, py)
+	}
+	K := px * py
+	s := core.NewSendSets(K)
+	for y := 0; y < py; y++ {
+		for x := 0; x < px; x++ {
+			me := y*px + x
+			neighbors := []int{
+				y*px + (x+1)%px,
+				y*px + (x-1+px)%px,
+				((y+1)%py)*px + x,
+				((y-1+py)%py)*px + x,
+			}
+			for _, nb := range neighbors {
+				if nb != me {
+					s.Add(me, nb, words)
+				}
+			}
+		}
+	}
+	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// StencilRow is one scheme's metrics on the halo exchange.
+type StencilRow struct {
+	Scheme  string
+	Summary metrics.Summary
+}
+
+// StencilControl evaluates BL and every STFW dimension on the regular halo
+// exchange at K ranks (px = py = sqrt(K)), priced on BG/Q.
+func StencilControl(K int, words int64) ([]StencilRow, error) {
+	px := 1
+	for px*px < K {
+		px *= 2
+	}
+	if px*px != K {
+		return nil, fmt.Errorf("experiments: stencil control needs a square power-of-two K, got %d", K)
+	}
+	sends, err := StencilSendSets(px, px, words)
+	if err != nil {
+		return nil, err
+	}
+	mach, err := netsim.BlueGeneQ(K)
+	if err != nil {
+		return nil, err
+	}
+	var out []StencilRow
+	for _, n := range append([]int{1}, AllDims(K)...) {
+		var plan *core.Plan
+		if n == 1 {
+			plan, err = core.BuildDirectPlan(sends)
+		} else {
+			var tp *vpt.Topology
+			tp, err = vpt.NewBalanced(K, n)
+			if err != nil {
+				return nil, err
+			}
+			plan, err = core.BuildPlan(tp, sends)
+		}
+		if err != nil {
+			return nil, err
+		}
+		sum, err := metrics.Summarize(SchemeName(n), plan, sends)
+		if err != nil {
+			return nil, err
+		}
+		sum.CommTime, err = netsim.CommTime(mach, plan)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, StencilRow{Scheme: SchemeName(n), Summary: sum})
+	}
+	return out, nil
+}
+
+// RenderStencilControl prints the control experiment.
+func RenderStencilControl(w io.Writer, K int, rows []StencilRow) {
+	fmt.Fprintf(w, "Stencil control: 5-point halo exchange at K=%d (already regular; STFW should NOT help)\n", K)
+	fmt.Fprintf(w, "%-8s %8s %8s %9s %11s\n", "scheme", "mmax", "mavg", "vavg", "comm(us)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %8.1f %8.1f %9.0f %11.1f\n",
+			r.Scheme, r.Summary.MMax, r.Summary.MAvg, r.Summary.VAvg,
+			netsim.Microseconds(r.Summary.CommTime))
+	}
+}

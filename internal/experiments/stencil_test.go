@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStencilSendSets(t *testing.T) {
+	s, err := StencilSendSets(4, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K != 16 {
+		t.Fatalf("K = %d", s.K)
+	}
+	// Every rank sends to exactly 4 distinct neighbors.
+	for i, set := range s.Sets {
+		if len(set) != 4 {
+			t.Errorf("rank %d has %d neighbors", i, len(set))
+		}
+	}
+	if s.TotalWords() != 16*4*10 {
+		t.Errorf("total words %d", s.TotalWords())
+	}
+	// 2x2 wrap-around: left and right neighbor coincide, so degree < 4.
+	s2, err := StencilSendSets(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, set := range s2.Sets {
+		if len(set) != 2 {
+			t.Errorf("2x2 rank %d has %d neighbors", i, len(set))
+		}
+	}
+	if _, err := StencilSendSets(1, 4, 1); err == nil {
+		t.Error("degenerate grid accepted")
+	}
+}
+
+func TestStencilControlSTFWDoesNotHelp(t *testing.T) {
+	rows, err := StencilControl(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl := rows[0]
+	if bl.Scheme != "BL" {
+		t.Fatalf("first row %s", bl.Scheme)
+	}
+	// The baseline is already regular: mmax = 4.
+	if bl.Summary.MMax != 4 {
+		t.Errorf("BL mmax = %.0f, want 4", bl.Summary.MMax)
+	}
+	// No STFW dimension should beat BL on this pattern (the negative
+	// control): regular patterns gain nothing from regularization.
+	for _, r := range rows[1:] {
+		if r.Summary.CommTime < bl.Summary.CommTime {
+			t.Errorf("%s unexpectedly beat BL on a regular stencil (%.1f vs %.1f us)",
+				r.Scheme, r.Summary.CommTime*1e6, bl.Summary.CommTime*1e6)
+		}
+		if r.Summary.VAvg < bl.Summary.VAvg {
+			t.Errorf("%s reduced volume on a stencil, impossible", r.Scheme)
+		}
+	}
+	var buf bytes.Buffer
+	RenderStencilControl(&buf, 64, rows)
+	if !strings.Contains(buf.String(), "should NOT help") {
+		t.Error("render missing control banner")
+	}
+}
+
+func TestStencilControlValidation(t *testing.T) {
+	if _, err := StencilControl(48, 8); err == nil {
+		t.Error("non-square K accepted")
+	}
+}

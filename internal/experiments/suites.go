@@ -1,0 +1,6 @@
+package experiments
+
+import "stfw/internal/sparse"
+
+func top15() []string    { return sparse.Top15Names() }
+func bottom10() []string { return sparse.Bottom10Names() }

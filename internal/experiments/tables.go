@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"stfw/internal/metrics"
+	"stfw/internal/netsim"
+	"stfw/internal/sparse"
+)
+
+// Table1Row pairs a generated analog's measured statistics with the paper's
+// reference values.
+type Table1Row struct {
+	Name  string
+	Kind  string
+	Stats sparse.Stats
+	// Reference values from the paper's Table 1 (full-size originals).
+	RefRows, RefNNZ, RefMax int
+	RefCV, RefMaxDR         float64
+}
+
+// Table1 generates every catalog analog at the configured scale and reports
+// its measured structure statistics next to the paper's.
+func Table1(cfg Config) ([]Table1Row, error) {
+	names := sparse.CatalogNames()
+	rows := make([]Table1Row, 0, len(names))
+	for _, name := range names {
+		e, err := sparse.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		m, err := cache.matrix(name, cfg.scale())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, Table1Row{
+			Name: name, Kind: e.Kind, Stats: sparse.ComputeStats(m),
+			RefRows: e.RefRows, RefNNZ: e.RefNNZ, RefMax: e.RefMax,
+			RefCV: e.RefCV, RefMaxDR: e.RefMaxDR,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable1 prints Table 1 with measured analog stats.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "Table 1: catalog analogs (measured at current scale) vs paper reference\n")
+	fmt.Fprintf(w, "%-18s %-22s %9s %10s %7s %6s %7s | %9s %10s %7s %6s %7s\n",
+		"matrix", "kind", "rows", "nnz", "max", "cv", "maxdr", "ref rows", "ref nnz", "refmax", "refcv", "refmdr")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %-22s %9d %10d %7d %6.2f %7.3f | %9d %10d %7d %6.2f %7.3f\n",
+			r.Name, r.Kind, r.Stats.Rows, r.Stats.NNZ, r.Stats.MaxDegree, r.Stats.CV, r.Stats.MaxDR,
+			r.RefRows, r.RefNNZ, r.RefMax, r.RefCV, r.RefMaxDR)
+	}
+}
+
+// Table2Block is the Table 2 slab for one process count: BL plus every
+// STFW dimension, geometric means over the top-15 matrices on BlueGene/Q.
+type Table2Block struct {
+	K    int
+	Rows []metrics.Summary // Rows[0] = BL, then STFW2..STFWlgK
+}
+
+// Table2Ks are the process counts of Table 2.
+var Table2Ks = []int{64, 128, 256, 512}
+
+// Table2 reproduces Table 2: six metrics, four process counts, all schemes,
+// geometric averages over the top-15 matrices, BG/Q cost model.
+func Table2(cfg Config) ([]Table2Block, error) {
+	return table2Over(cfg, Table2Ks)
+}
+
+// Table2Slice runs the Table 2 evaluation at a single process count.
+func Table2Slice(cfg Config, K int) ([]Table2Block, error) { return table2Over(cfg, []int{K}) }
+
+func table2Over(cfg Config, Ks []int) ([]Table2Block, error) {
+	names := sparse.Top15Names()
+	out := make([]Table2Block, 0, len(Ks))
+	for _, K := range Ks {
+		m, err := netsim.BlueGeneQ(K)
+		if err != nil {
+			return nil, err
+		}
+		block := Table2Block{K: K}
+		for _, n := range append([]int{1}, AllDims(K)...) {
+			agg, _, err := EvalSuite(cfg, names, K, m, n)
+			if err != nil {
+				return nil, err
+			}
+			block.Rows = append(block.Rows, agg)
+		}
+		out = append(out, block)
+	}
+	return out, nil
+}
+
+// RenderTable2 prints the Table 2 layout.
+func RenderTable2(w io.Writer, blocks []Table2Block) {
+	fmt.Fprintf(w, "Table 2: geometric means over top-15 matrices (BlueGene/Q model)\n")
+	fmt.Fprintf(w, "%4s %-8s %8s %8s %9s %11s %11s %11s\n",
+		"K", "scheme", "mmax", "mavg", "vavg", "comm(us)", "spmv(us)", "buffer(KB)")
+	for _, b := range blocks {
+		for _, r := range b.Rows {
+			fmt.Fprintf(w, "%4d %-8s %8.1f %8.1f %9.0f %11.0f %11.0f %11.1f\n",
+				b.K, r.Scheme, r.MMax, r.MAvg, r.VAvg,
+				netsim.Microseconds(r.CommTime), netsim.Microseconds(r.SpMVTime),
+				r.BufferBytes/1024)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Table3Block is one machine/K slab of Table 3.
+type Table3Block struct {
+	Machine string // display name
+	K       int
+	Rows    []metrics.Summary
+}
+
+// Table3Spec names the three large-scale configurations of Section 6.5.
+type Table3Spec struct {
+	Machine string // "xk7" or "xc40"
+	K       int
+}
+
+// Table3Specs are the paper's configurations: Cray XK7 at 8K and 16K
+// processes, Cray XC40 at 4K.
+var Table3Specs = []Table3Spec{
+	{Machine: "xk7", K: 8192},
+	{Machine: "xk7", K: 16384},
+	{Machine: "xc40", K: 4096},
+}
+
+// Table3 reproduces the large-scale communication analysis: BL plus the
+// seven selected VPT dimensions, geometric means over the bottom-10
+// matrices (>10M nonzeros).
+func Table3(cfg Config) ([]Table3Block, error) {
+	return Table3Over(cfg, Table3Specs)
+}
+
+// Table3Over runs the Table 3 evaluation for custom specs (tests use
+// smaller K).
+func Table3Over(cfg Config, specs []Table3Spec) ([]Table3Block, error) {
+	names := sparse.Bottom10Names()
+	out := make([]Table3Block, 0, len(specs))
+	for _, spec := range specs {
+		m, err := MachineFor(spec.Machine, spec.K)
+		if err != nil {
+			return nil, err
+		}
+		block := Table3Block{Machine: m.Name, K: spec.K}
+		for _, n := range append([]int{1}, LargeScaleDims(spec.K)...) {
+			agg, _, err := EvalSuite(cfg, names, spec.K, m, n)
+			if err != nil {
+				return nil, err
+			}
+			block.Rows = append(block.Rows, agg)
+		}
+		out = append(out, block)
+	}
+	return out, nil
+}
+
+// RenderTable3 prints the Table 3 layout.
+func RenderTable3(w io.Writer, blocks []Table3Block) {
+	fmt.Fprintf(w, "Table 3: large-scale communication, geometric means over bottom-10 matrices\n")
+	for _, b := range blocks {
+		fmt.Fprintf(w, "\n%s, %d processes\n", b.Machine, b.K)
+		fmt.Fprintf(w, "%-8s %8s %8s %9s %11s\n", "scheme", "mmax", "mavg", "vavg", "comm(us)")
+		for _, r := range b.Rows {
+			fmt.Fprintf(w, "%-8s %8.1f %8.1f %9.0f %11.0f\n",
+				r.Scheme, r.MMax, r.MAvg, r.VAvg, netsim.Microseconds(r.CommTime))
+		}
+	}
+}
+
+// BestScheme returns the row with the lowest comm time in a slab, used for
+// EXPERIMENTS.md shape checks.
+func BestScheme(rows []metrics.Summary) metrics.Summary {
+	best := rows[0]
+	for _, r := range rows[1:] {
+		if r.CommTime < best.CommTime {
+			best = r
+		}
+	}
+	return best
+}
+
+// SortSummaries orders rows BL-first then by ascending dimension, assuming
+// scheme names produced by SchemeName.
+func SortSummaries(rows []metrics.Summary) {
+	order := func(s string) int {
+		if s == "BL" {
+			return 0
+		}
+		var n int
+		fmt.Sscanf(s, "STFW%d", &n)
+		return n
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return order(rows[i].Scheme) < order(rows[j].Scheme) })
+}

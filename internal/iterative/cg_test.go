@@ -1,0 +1,260 @@
+package iterative
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stfw/internal/partition"
+	"stfw/internal/runtime"
+	"stfw/internal/sparse"
+	"stfw/internal/spmv"
+	"stfw/internal/transport/chanpt"
+	"stfw/internal/vpt"
+)
+
+// spdMatrix builds a random symmetric positive definite test matrix.
+func spdMatrix(t testing.TB, rows int) *sparse.CSR {
+	t.Helper()
+	base, err := sparse.Generate(sparse.GenParams{
+		Name: "cgtest", Rows: rows, TargetNNZ: rows * 8, MaxDegree: rows / 4,
+		HubRows: 2, Band: 3, TailFrac: 0.2, TailSkew: 1.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sparse.DiagonallyDominant(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func rhs(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return b
+}
+
+func residualNorm(a *sparse.CSR, x, b []float64) float64 {
+	ax, _ := a.MulVec(nil, x)
+	var rr, bb float64
+	for i := range b {
+		d := b[i] - ax[i]
+		rr += d * d
+		bb += b[i] * b[i]
+	}
+	return math.Sqrt(rr / bb)
+}
+
+func TestDiagonallyDominantIsSPDish(t *testing.T) {
+	a := spdMatrix(t, 200)
+	// Diagonal strictly dominates every row.
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		var diag, off float64
+		for k, c := range cols {
+			if int(c) == i {
+				diag = vals[k]
+			} else {
+				off += math.Abs(vals[k])
+			}
+		}
+		if diag <= off {
+			t.Fatalf("row %d not dominant: diag %g vs off %g", i, diag, off)
+		}
+	}
+	if !a.IsSymmetricPattern() {
+		t.Fatal("pattern not symmetric")
+	}
+}
+
+func TestSerialCGConverges(t *testing.T) {
+	a := spdMatrix(t, 300)
+	b := rhs(a.Rows, 1)
+	x, iters, err := SerialCG(a, b, 0, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := residualNorm(a, x, b); res > 1e-8 {
+		t.Errorf("serial CG residual %g after %d iters", res, iters)
+	}
+}
+
+// runCG executes the distributed CG over a channel world and assembles the
+// solution.
+func runCG(t *testing.T, a *sparse.CSR, part *partition.Partition, b []float64, opt CGOptions) ([]float64, *CGResult) {
+	t.Helper()
+	pat, err := spmv.BuildPattern(a, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := chanpt.NewWorld(part.K, part.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*CGResult, part.K)
+	err = w.Run(func(c runtime.Comm) error {
+		res, err := CG(c, a, part, pat, b, opt)
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = res
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([][]float64, part.K)
+	for r, res := range results {
+		xs[r] = res.X
+		if res.Iters != results[0].Iters || res.Converged != results[0].Converged {
+			t.Fatalf("ranks disagree on outcome: %+v vs %+v", res, results[0])
+		}
+	}
+	x, err := spmv.Reduce(part, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x, results[0]
+}
+
+func TestDistributedCGMatchesSerialBL(t *testing.T) {
+	a := spdMatrix(t, 400)
+	b := rhs(a.Rows, 2)
+	part, err := partition.Greedy(a, 8, partition.DefaultGreedy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, res := runCG(t, a, part, b, CGOptions{Comm: spmv.Options{Method: spmv.BL}})
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if got := residualNorm(a, x, b); got > 1e-8 {
+		t.Errorf("residual %g", got)
+	}
+}
+
+func TestDistributedCGMatchesSerialSTFW(t *testing.T) {
+	a := spdMatrix(t, 400)
+	b := rhs(a.Rows, 3)
+	for _, c := range []struct{ K, dim int }{{16, 2}, {16, 4}, {32, 5}} {
+		part, err := partition.Greedy(a, c.K, partition.DefaultGreedy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp, err := vpt.NewBalanced(c.K, c.dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, res := runCG(t, a, part, b, CGOptions{
+			Comm: spmv.Options{Method: spmv.STFW, Topo: tp},
+		})
+		if !res.Converged {
+			t.Fatalf("K=%d dim=%d did not converge: %+v", c.K, c.dim, res)
+		}
+		if got := residualNorm(a, x, b); got > 1e-8 {
+			t.Errorf("K=%d dim=%d residual %g", c.K, c.dim, got)
+		}
+	}
+}
+
+func TestCGSchemesAgreeIterForIter(t *testing.T) {
+	// BL and STFW move identical values, so the iterates are bit-for-bit
+	// comparable up to floating-point reduction order; with the same
+	// deterministic reduction order (allreduce tree identical), iteration
+	// counts must match exactly.
+	a := spdMatrix(t, 300)
+	b := rhs(a.Rows, 4)
+	part, err := partition.Greedy(a, 16, partition.DefaultGreedy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, _ := vpt.NewBalanced(16, 4)
+	_, resBL := runCG(t, a, part, b, CGOptions{Comm: spmv.Options{Method: spmv.BL}})
+	_, resST := runCG(t, a, part, b, CGOptions{Comm: spmv.Options{Method: spmv.STFW, Topo: tp}})
+	if resBL.Iters != resST.Iters {
+		t.Errorf("BL took %d iters, STFW %d", resBL.Iters, resST.Iters)
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a := spdMatrix(t, 100)
+	part, _ := partition.Block(a.Rows, 4)
+	x, res := runCG(t, a, part, make([]float64, a.Rows), CGOptions{Comm: spmv.Options{Method: spmv.BL}})
+	if !res.Converged || res.Iters != 0 {
+		t.Errorf("zero rhs: %+v", res)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("nonzero solution for zero rhs")
+		}
+	}
+}
+
+func TestCGValidation(t *testing.T) {
+	a := spdMatrix(t, 64)
+	part, _ := partition.Block(a.Rows, 4)
+	pat, _ := spmv.BuildPattern(a, part)
+	w, _ := chanpt.NewWorld(4, 4)
+	err := w.Run(func(c runtime.Comm) error {
+		if _, err := CG(c, a, part, pat, make([]float64, 5), CGOptions{}); err == nil {
+			return errBadLen
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+var errBadLen = &validationErr{}
+
+type validationErr struct{}
+
+func (*validationErr) Error() string { return "bad b length accepted" }
+
+func TestCGNonSPDFails(t *testing.T) {
+	// An indefinite matrix must be rejected via the p.Ap check.
+	ts := []sparse.Triple{
+		{Row: 0, Col: 0, Val: -5}, {Row: 1, Col: 1, Val: 1},
+	}
+	a, err := sparse.FromTriples(2, 2, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, _ := partition.Block(2, 2)
+	pat, _ := spmv.BuildPattern(a, part)
+	w, _ := chanpt.NewWorld(2, 2)
+	errs := make([]error, 2)
+	_ = w.Run(func(c runtime.Comm) error {
+		_, errs[c.Rank()] = CG(c, a, part, pat, []float64{1, 1}, CGOptions{})
+		return nil
+	})
+	if errs[0] == nil || errs[1] == nil {
+		t.Error("indefinite matrix accepted")
+	}
+}
+
+func BenchmarkDistributedCG16(b *testing.B) {
+	a := spdMatrix(b, 500)
+	vec := rhs(a.Rows, 5)
+	part, _ := partition.Greedy(a, 16, partition.DefaultGreedy())
+	pat, _ := spmv.BuildPattern(a, part)
+	tp, _ := vpt.NewBalanced(16, 4)
+	opt := CGOptions{Comm: spmv.Options{Method: spmv.STFW, Topo: tp}, Tol: 1e-8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, _ := chanpt.NewWorld(16, 16)
+		err := w.Run(func(c runtime.Comm) error {
+			_, err := CG(c, a, part, pat, vec, opt)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

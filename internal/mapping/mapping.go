@@ -1,0 +1,200 @@
+// Package mapping implements the first future-work direction of the paper
+// (Section 8): mapping processes onto the virtual process topology so that
+// pairs exchanging large volumes sit at small Hamming distance. Since a
+// submessage from i to j is forwarded exactly Hamming(pos(i), pos(j)) times,
+// the total store-and-forward volume is the Hamming-weighted sum of the
+// send sets, and a good placement reduces it without touching the
+// algorithm.
+package mapping
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stfw/internal/core"
+	"stfw/internal/vpt"
+)
+
+// Identity returns the identity placement: rank i occupies VPT position i.
+func Identity(K int) []int {
+	p := make([]int, K)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Validate checks that perm is a permutation of [0, K).
+func Validate(perm []int, K int) error {
+	if len(perm) != K {
+		return fmt.Errorf("mapping: permutation length %d != K %d", len(perm), K)
+	}
+	seen := make([]bool, K)
+	for i, p := range perm {
+		if p < 0 || p >= K || seen[p] {
+			return fmt.Errorf("mapping: not a permutation at index %d (value %d)", i, p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// WeightedVolume returns the total store-and-forward volume (in words) the
+// placement induces: sum over (i, j) of words(i->j) * Hamming(perm[i],
+// perm[j]). It equals the TotalWords of the plan built from the remapped
+// send sets.
+func WeightedVolume(t *vpt.Topology, s *core.SendSets, perm []int) (int64, error) {
+	if err := Validate(perm, s.K); err != nil {
+		return 0, err
+	}
+	if err := s.ValidateTopology(t); err != nil {
+		return 0, err
+	}
+	var v int64
+	for src, set := range s.Sets {
+		for _, pr := range set {
+			v += pr.Words * int64(t.Hamming(perm[src], perm[pr.Dst]))
+		}
+	}
+	return v, nil
+}
+
+// Apply relabels the send sets under the placement: the process that was
+// rank i now occupies VPT position perm[i], so messages i->j become
+// perm[i]->perm[j].
+func Apply(s *core.SendSets, perm []int) (*core.SendSets, error) {
+	if err := Validate(perm, s.K); err != nil {
+		return nil, err
+	}
+	out := core.NewSendSets(s.K)
+	for src, set := range s.Sets {
+		for _, pr := range set {
+			out.Add(perm[src], perm[pr.Dst], pr.Words)
+		}
+	}
+	if err := out.Normalize(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Options tunes the local search.
+type Options struct {
+	// Sweeps is the number of improvement passes over the candidate swap
+	// stream; each sweep tries K random swaps plus targeted swaps around
+	// the heaviest pairs.
+	Sweeps int
+	// Seed makes the search deterministic.
+	Seed int64
+}
+
+// DefaultOptions returns a search budget that pays for itself on irregular
+// instances.
+func DefaultOptions() Options { return Options{Sweeps: 8, Seed: 1} }
+
+// Greedy searches for a placement with low weighted volume by hill-climbing
+// pairwise swaps, starting from the identity. It returns the placement and
+// its weighted volume. The search only accepts strict improvements, so the
+// result is never worse than identity.
+func Greedy(t *vpt.Topology, s *core.SendSets, opt Options) ([]int, int64, error) {
+	if err := s.ValidateTopology(t); err != nil {
+		return nil, 0, err
+	}
+	K := s.K
+	if opt.Sweeps <= 0 {
+		opt.Sweeps = 1
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Symmetric weighted adjacency for incremental objective deltas.
+	type edge struct {
+		peer int32
+		w    int64
+	}
+	adj := make([][]edge, K)
+	addW := func(a, b int, w int64) {
+		adj[a] = append(adj[a], edge{peer: int32(b), w: w})
+	}
+	for src, set := range s.Sets {
+		for _, pr := range set {
+			if pr.Dst == src {
+				continue
+			}
+			addW(src, pr.Dst, pr.Words)
+			addW(pr.Dst, src, pr.Words)
+		}
+	}
+
+	perm := Identity(K)
+	pos := make([]int, K) // pos[rank] = VPT position
+	inv := make([]int, K) // inv[position] = rank occupying it
+	copy(pos, perm)
+	copy(inv, perm)
+
+	// cost of rank r under current placement.
+	cost := func(r int) int64 {
+		var c int64
+		for _, e := range adj[r] {
+			c += e.w * int64(t.Hamming(pos[r], pos[e.peer]))
+		}
+		return c
+	}
+	// delta of swapping the positions of ranks a and b.
+	tryswap := func(a, b int) bool {
+		if a == b {
+			return false
+		}
+		before := cost(a) + cost(b)
+		pos[a], pos[b] = pos[b], pos[a]
+		after := cost(a) + cost(b)
+		// Edges between a and b are counted twice on both sides with the
+		// same value (Hamming is symmetric), so the comparison is exact.
+		if after < before {
+			inv[pos[a]], inv[pos[b]] = a, b
+			return true
+		}
+		pos[a], pos[b] = pos[b], pos[a]
+		return false
+	}
+
+	// Heaviest senders get targeted attention: try to co-locate them with
+	// their heaviest peers' groups.
+	heavy := make([]int, 0, K)
+	for r := 0; r < K; r++ {
+		if len(adj[r]) > 0 {
+			heavy = append(heavy, r)
+		}
+	}
+
+	for sweep := 0; sweep < opt.Sweeps; sweep++ {
+		for i := 0; i < K; i++ {
+			tryswap(rng.Intn(K), rng.Intn(K))
+		}
+		for _, r := range heavy {
+			// Try swapping r next to its heaviest peer: candidate position
+			// = a neighbor slot of the peer in its first dimension.
+			var best edge
+			for _, e := range adj[r] {
+				if e.w > best.w {
+					best = e
+				}
+			}
+			if best.w == 0 {
+				continue
+			}
+			peerPos := pos[best.peer]
+			for d := 0; d < t.N(); d++ {
+				cand := t.WithDigit(peerPos, d, rng.Intn(t.Dim(d)))
+				tryswap(r, inv[cand])
+			}
+		}
+	}
+	for r := 0; r < K; r++ {
+		perm[r] = pos[r]
+	}
+	vol, err := WeightedVolume(t, s, perm)
+	if err != nil {
+		return nil, 0, err
+	}
+	return perm, vol, nil
+}

@@ -1,0 +1,125 @@
+package mapping
+
+import (
+	"math/rand"
+
+	"stfw/internal/core"
+	"stfw/internal/netsim"
+)
+
+// This file implements the second future-work direction of Section 8:
+// mapping processes onto the *physical* topology so that pairs exchanging
+// large volumes sit few network hops apart. Unlike the VPT mapping in
+// mapping.go, the virtual topology and the schedule stay fixed; only the
+// rank-to-node packing (netsim.Machine.WithPlacement) changes, reducing the
+// per-hop term of the cost model.
+
+// HopWeightedVolume returns sum over (i, j) of words(i->j) * hops between
+// the nodes hosting perm[i] and perm[j] — the objective the physical
+// placement minimizes.
+func HopWeightedVolume(m *netsim.Machine, s *core.SendSets, perm []int) (int64, error) {
+	if err := Validate(perm, s.K); err != nil {
+		return 0, err
+	}
+	placed, err := m.WithPlacement(perm)
+	if err != nil {
+		return 0, err
+	}
+	var v int64
+	for src, set := range s.Sets {
+		for _, pr := range set {
+			v += pr.Words * int64(placed.Topo.Hops(placed.Node(src), placed.Node(pr.Dst)))
+		}
+	}
+	return v, nil
+}
+
+// PhysicalGreedy hill-climbs pairwise slot swaps to reduce the hop-weighted
+// volume, starting from linear packing. It returns the placement (pass it
+// to netsim.Machine.WithPlacement) and its objective value; the result is
+// never worse than the identity packing.
+func PhysicalGreedy(m *netsim.Machine, s *core.SendSets, opt Options) ([]int, int64, error) {
+	K := s.K
+	if err := m.Validate(K); err != nil {
+		return nil, 0, err
+	}
+	if opt.Sweeps <= 0 {
+		opt.Sweeps = 1
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	type edge struct {
+		peer int32
+		w    int64
+	}
+	adj := make([][]edge, K)
+	for src, set := range s.Sets {
+		for _, pr := range set {
+			if pr.Dst == src {
+				continue
+			}
+			adj[src] = append(adj[src], edge{peer: int32(pr.Dst), w: pr.Words})
+			adj[pr.Dst] = append(adj[pr.Dst], edge{peer: int32(src), w: pr.Words})
+		}
+	}
+
+	perm := Identity(K) // perm[rank] = physical slot
+	inv := Identity(K)  // inv[slot] = rank
+	node := func(r int) int { return perm[r] / m.RanksPerNode }
+	cost := func(r int) int64 {
+		var c int64
+		nr := node(r)
+		for _, e := range adj[r] {
+			c += e.w * int64(m.Topo.Hops(nr, node(int(e.peer))))
+		}
+		return c
+	}
+	tryswap := func(a, b int) bool {
+		if a == b || node(a) == node(b) {
+			return false // same node: hop costs unchanged
+		}
+		before := cost(a) + cost(b)
+		perm[a], perm[b] = perm[b], perm[a]
+		if cost(a)+cost(b) < before {
+			inv[perm[a]], inv[perm[b]] = a, b
+			return true
+		}
+		perm[a], perm[b] = perm[b], perm[a]
+		return false
+	}
+
+	for sweep := 0; sweep < opt.Sweeps; sweep++ {
+		for i := 0; i < 2*K; i++ {
+			tryswap(rng.Intn(K), rng.Intn(K))
+		}
+		// Targeted: pull each rank toward its heaviest peer's node by
+		// swapping with a rank co-located with that peer.
+		for r := 0; r < K; r++ {
+			var best edge
+			for _, e := range adj[r] {
+				if e.w > best.w {
+					best = e
+				}
+			}
+			if best.w == 0 {
+				continue
+			}
+			peerSlot := perm[best.peer]
+			base := (peerSlot / m.RanksPerNode) * m.RanksPerNode
+			for off := 0; off < m.RanksPerNode; off++ {
+				slot := base + off
+				if slot >= K {
+					break
+				}
+				if tryswap(r, inv[slot]) {
+					break
+				}
+			}
+		}
+	}
+	vol, err := HopWeightedVolume(m, s, perm)
+	if err != nil {
+		return nil, 0, err
+	}
+	return perm, vol, nil
+}

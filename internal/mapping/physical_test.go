@@ -1,0 +1,156 @@
+package mapping
+
+import (
+	"testing"
+
+	"stfw/internal/core"
+	"stfw/internal/netsim"
+)
+
+// crossNodeSendSets pairs each rank with a rank on a distant node under
+// linear packing, so a placement that co-locates pairs has big wins.
+func crossNodeSendSets(K, ranksPerNode int) *core.SendSets {
+	s := core.NewSendSets(K)
+	half := K / 2
+	for i := 0; i < half; i++ {
+		s.Add(i, half+i, 2000)
+		s.Add(half+i, i, 2000)
+	}
+	if err := s.Normalize(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestHopWeightedVolumeIdentity(t *testing.T) {
+	K := 64
+	m, err := netsim.BlueGeneQ(K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := crossNodeSendSets(K, m.RanksPerNode)
+	v, err := HopWeightedVolume(m, s, Identity(K))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 {
+		t.Errorf("cross-node pattern has zero hop volume %d", v)
+	}
+}
+
+func TestPhysicalGreedyImproves(t *testing.T) {
+	K := 64
+	m, err := netsim.CrayXK7(K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := crossNodeSendSets(K, m.RanksPerNode)
+	idVol, err := HopWeightedVolume(m, s, Identity(K))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, vol, err := PhysicalGreedy(m, s, Options{Sweeps: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(perm, K); err != nil {
+		t.Fatal(err)
+	}
+	if vol > idVol {
+		t.Errorf("placement made things worse: %d vs %d", vol, idVol)
+	}
+	if vol >= idVol {
+		t.Errorf("placement failed to improve cross-node pattern: %d vs %d", vol, idVol)
+	}
+	// The reported objective must match an independent evaluation.
+	check, err := HopWeightedVolume(m, s, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check != vol {
+		t.Errorf("reported %d, recomputed %d", vol, check)
+	}
+}
+
+func TestPlacementChangesCommTime(t *testing.T) {
+	K := 64
+	m, err := netsim.CrayXK7(K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := crossNodeSendSets(K, m.RanksPerNode)
+	plan, err := core.BuildDirectPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := netsim.CommTime(m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, _, err := PhysicalGreedy(m, s, Options{Sweeps: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed, err := m.WithPlacement(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	better, err := netsim.CommTime(placed, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if better > base {
+		t.Errorf("placement raised comm time: %g vs %g", better, base)
+	}
+}
+
+func TestWithPlacementValidation(t *testing.T) {
+	m, _ := netsim.BlueGeneQ(32)
+	if _, err := m.WithPlacement([]int{0, 0, 1}); err == nil {
+		t.Error("duplicate placement accepted")
+	}
+	if _, err := m.WithPlacement([]int{0, 5, 1}); err == nil {
+		t.Error("out-of-range placement accepted")
+	}
+	cp, err := m.WithPlacement(nil)
+	if err != nil || cp == nil {
+		t.Errorf("nil placement: %v", err)
+	}
+	// Placement must not mutate the original machine.
+	perm := make([]int, 32)
+	for i := range perm {
+		perm[i] = 31 - i
+	}
+	placed, err := m.WithPlacement(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Node(0) != 0 {
+		t.Error("original machine mutated")
+	}
+	if placed.Node(0) != 31/m.RanksPerNode {
+		t.Errorf("placed Node(0) = %d", placed.Node(0))
+	}
+}
+
+func TestPhysicalGreedyDeterministic(t *testing.T) {
+	K := 32
+	m, _ := netsim.CrayXC40(K)
+	s := crossNodeSendSets(K, m.RanksPerNode)
+	p1, v1, err := PhysicalGreedy(m, s, Options{Sweeps: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, v2, err := PhysicalGreedy(m, s, Options{Sweeps: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatal("nondeterministic objective")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("nondeterministic placement")
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package metrics summarizes communication schedules into the paper's
+// performance metrics: maximum and average message count, average volume,
+// and buffer size, plus the geometric-mean aggregation Table 2 and Table 3
+// apply across matrix suites.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"stfw/internal/core"
+)
+
+// Summary holds the per-instance metrics of one scheme on one input,
+// mirroring a row of Table 2 / Table 3.
+type Summary struct {
+	Scheme string
+	// MMax is the maximum over processes of sent message count (mmax).
+	MMax float64
+	// MAvg is the average over processes of sent message count (mavg).
+	MAvg float64
+	// VAvg is the average over processes of sent volume in words (vavg).
+	VAvg float64
+	// CommTime and SpMVTime are filled by the caller from netsim (seconds).
+	CommTime float64
+	SpMVTime float64
+	// BufferBytes is the maximum over processes of the buffer footprint:
+	// the original send+receive payloads plus peak store-and-forward
+	// residency, in bytes (8 bytes per word).
+	BufferBytes float64
+}
+
+// Summarize computes the message-count, volume and buffer metrics of a
+// plan. sends is the application-level requirement the plan realizes (used
+// for the original send/receive buffer part of the buffer metric).
+func Summarize(scheme string, p *core.Plan, sends *core.SendSets) (Summary, error) {
+	K := len(p.SentMsgs)
+	if sends.K != K {
+		return Summary{}, fmt.Errorf("metrics: send sets K=%d != plan K=%d", sends.K, K)
+	}
+	s := Summary{Scheme: scheme}
+	var msgSum int
+	var wordSum int64
+	for q := 0; q < K; q++ {
+		if float64(p.SentMsgs[q]) > s.MMax {
+			s.MMax = float64(p.SentMsgs[q])
+		}
+		msgSum += p.SentMsgs[q]
+		wordSum += p.SentWords[q]
+	}
+	s.MAvg = float64(msgSum) / float64(K)
+	s.VAvg = float64(wordSum) / float64(K)
+
+	// Buffer: original application send + receive words per rank, plus the
+	// peak store-and-forward residency of the schedule.
+	recv := sends.RecvSets()
+	for q := 0; q < K; q++ {
+		var orig int64
+		for _, pr := range sends.Sets[q] {
+			orig += pr.Words
+		}
+		for _, pr := range recv[q] {
+			orig += pr.Words
+		}
+		b := float64(orig+p.MaxBufferWords[q]) * 8
+		if b > s.BufferBytes {
+			s.BufferBytes = b
+		}
+	}
+	return s, nil
+}
+
+// GeoMean returns the geometric mean of the values, ignoring non-positive
+// entries the way the paper's geometric averages must (a zero metric would
+// zero the mean); it returns 0 if no positive values exist.
+func GeoMean(vals []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, v := range vals {
+		if v > 0 {
+			logSum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Aggregate geometric-means a set of per-matrix summaries for the same
+// scheme into one row, the way Table 2 aggregates the 15 test matrices.
+func Aggregate(scheme string, rows []Summary) Summary {
+	pick := func(f func(Summary) float64) float64 {
+		vals := make([]float64, len(rows))
+		for i, r := range rows {
+			vals[i] = f(r)
+		}
+		return GeoMean(vals)
+	}
+	return Summary{
+		Scheme:      scheme,
+		MMax:        pick(func(s Summary) float64 { return s.MMax }),
+		MAvg:        pick(func(s Summary) float64 { return s.MAvg }),
+		VAvg:        pick(func(s Summary) float64 { return s.VAvg }),
+		CommTime:    pick(func(s Summary) float64 { return s.CommTime }),
+		SpMVTime:    pick(func(s Summary) float64 { return s.SpMVTime }),
+		BufferBytes: pick(func(s Summary) float64 { return s.BufferBytes }),
+	}
+}
+
+// Histogram returns per-process sent message counts of a plan, the series
+// Figure 1 plots, along with its max and mean.
+func Histogram(p *core.Plan) (counts []int, max int, mean float64) {
+	counts = append([]int(nil), p.SentMsgs...)
+	sum := 0
+	for _, c := range counts {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if len(counts) > 0 {
+		mean = float64(sum) / float64(len(counts))
+	}
+	return counts, max, mean
+}

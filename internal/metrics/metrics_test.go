@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"stfw/internal/core"
+	"stfw/internal/vpt"
+)
+
+func TestSummarizeDirect(t *testing.T) {
+	// Rank 0 sends 3 messages of 10 words; rank 1 sends 1 of 5.
+	s := core.NewSendSets(4)
+	s.Add(0, 1, 10)
+	s.Add(0, 2, 10)
+	s.Add(0, 3, 10)
+	s.Add(1, 2, 5)
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.BuildDirectPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize("BL", p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.MMax != 3 {
+		t.Errorf("MMax = %v", sum.MMax)
+	}
+	if sum.MAvg != 1.0 { // 4 messages / 4 ranks
+		t.Errorf("MAvg = %v", sum.MAvg)
+	}
+	if sum.VAvg != 35.0/4 {
+		t.Errorf("VAvg = %v", sum.VAvg)
+	}
+	// The baseline has no store-and-forward residency: rank 0's footprint
+	// is its original 30 send words -> 240 bytes (the max across ranks).
+	if sum.BufferBytes != 240 {
+		t.Errorf("BufferBytes = %v", sum.BufferBytes)
+	}
+	if sum.Scheme != "BL" {
+		t.Errorf("scheme %q", sum.Scheme)
+	}
+}
+
+func TestSummarizeMismatch(t *testing.T) {
+	s := core.NewSendSets(4)
+	p, _ := core.BuildDirectPlan(s)
+	bad := core.NewSendSets(8)
+	if _, err := Summarize("x", p, bad); err == nil {
+		t.Error("K mismatch accepted")
+	}
+}
+
+func TestSummarizeSTFWBoundConsistency(t *testing.T) {
+	tp := vpt.MustNew(4, 4)
+	s := core.Complete(16, 2)
+	p, err := core.BuildPlan(tp, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize("STFW2", p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.MMax != float64(core.MaxMessageBound(tp)) {
+		t.Errorf("MMax = %v, want bound %d", sum.MMax, core.MaxMessageBound(tp))
+	}
+	if sum.MAvg > sum.MMax {
+		t.Error("MAvg exceeds MMax")
+	}
+	// Complete exchange: STFW volume strictly exceeds direct volume.
+	direct, _ := core.BuildDirectPlan(s)
+	dsum, _ := Summarize("BL", direct, s)
+	if sum.VAvg <= dsum.VAvg {
+		t.Errorf("STFW VAvg %v not above BL %v", sum.VAvg, dsum.VAvg)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v", got)
+	}
+	if got := GeoMean([]float64{5}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("GeoMean(5) = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+	// Non-positive entries are skipped, not zeroing the mean.
+	if got := GeoMean([]float64{0, 4, 4}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean with zero = %v", got)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	rows := []Summary{
+		{MMax: 2, MAvg: 1, VAvg: 10, CommTime: 1e-6, SpMVTime: 2e-6, BufferBytes: 100},
+		{MMax: 8, MAvg: 4, VAvg: 1000, CommTime: 4e-6, SpMVTime: 8e-6, BufferBytes: 400},
+	}
+	agg := Aggregate("STFW3", rows)
+	if agg.Scheme != "STFW3" {
+		t.Errorf("scheme %q", agg.Scheme)
+	}
+	if math.Abs(agg.MMax-4) > 1e-12 {
+		t.Errorf("MMax = %v", agg.MMax)
+	}
+	if math.Abs(agg.MAvg-2) > 1e-12 {
+		t.Errorf("MAvg = %v", agg.MAvg)
+	}
+	if math.Abs(agg.VAvg-100) > 1e-9 {
+		t.Errorf("VAvg = %v", agg.VAvg)
+	}
+	if math.Abs(agg.CommTime-2e-6) > 1e-15 {
+		t.Errorf("CommTime = %v", agg.CommTime)
+	}
+	if math.Abs(agg.BufferBytes-200) > 1e-9 {
+		t.Errorf("BufferBytes = %v", agg.BufferBytes)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	s := core.NewSendSets(4)
+	s.Add(0, 1, 1)
+	s.Add(0, 2, 1)
+	s.Add(3, 0, 1)
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := core.BuildDirectPlan(s)
+	counts, max, mean := Histogram(p)
+	if len(counts) != 4 || counts[0] != 2 || counts[3] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if max != 2 {
+		t.Errorf("max = %d", max)
+	}
+	if math.Abs(mean-0.75) > 1e-12 {
+		t.Errorf("mean = %v", mean)
+	}
+}

@@ -1,0 +1,87 @@
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format (little-endian):
+//
+//	message frame:
+//	  uint32 from
+//	  uint32 to
+//	  uint32 nsubs
+//	  nsubs * submessage
+//	submessage:
+//	  uint32 src
+//	  uint32 dst
+//	  uint32 len(data)
+//	  data bytes
+//
+// The format is self-delimiting given the frame length, which transports
+// carry out-of-band (channel transport: slice length; TCP transport: a
+// uint32 length prefix).
+const (
+	msgHeaderLen = 12
+	subHeaderLen = 12
+)
+
+// ErrTruncated reports a frame shorter than its declared contents.
+var ErrTruncated = errors.New("msg: truncated frame")
+
+// Encode appends the wire encoding of m to dst and returns the extended
+// slice.
+func Encode(dst []byte, m *Message) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.From))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.To))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Subs)))
+	for _, s := range m.Subs {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(s.Src))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(s.Dst))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s.Data)))
+		dst = append(dst, s.Data...)
+	}
+	return dst
+}
+
+// Decode parses a frame produced by Encode. Submessage data aliases the
+// input buffer; callers that retain payloads past the buffer's lifetime must
+// copy them.
+func Decode(b []byte) (*Message, error) {
+	if len(b) < msgHeaderLen {
+		return nil, ErrTruncated
+	}
+	m := &Message{
+		From: int(binary.LittleEndian.Uint32(b[0:])),
+		To:   int(binary.LittleEndian.Uint32(b[4:])),
+	}
+	nsubs := int(binary.LittleEndian.Uint32(b[8:]))
+	const maxSubs = 1 << 28
+	if nsubs < 0 || nsubs > maxSubs {
+		return nil, fmt.Errorf("msg: implausible submessage count %d", nsubs)
+	}
+	b = b[msgHeaderLen:]
+	m.Subs = make([]Submessage, 0, nsubs)
+	for i := 0; i < nsubs; i++ {
+		if len(b) < subHeaderLen {
+			return nil, ErrTruncated
+		}
+		s := Submessage{
+			Src: int(binary.LittleEndian.Uint32(b[0:])),
+			Dst: int(binary.LittleEndian.Uint32(b[4:])),
+		}
+		dlen := int(binary.LittleEndian.Uint32(b[8:]))
+		b = b[subHeaderLen:]
+		if dlen < 0 || len(b) < dlen {
+			return nil, ErrTruncated
+		}
+		s.Data = b[:dlen:dlen]
+		b = b[dlen:]
+		m.Subs = append(m.Subs, s)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("msg: %d trailing bytes after frame", len(b))
+	}
+	return m, nil
+}

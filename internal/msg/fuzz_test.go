@@ -1,0 +1,55 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode exercises the frame decoder with arbitrary bytes: it must
+// never panic, and any frame it accepts must re-encode to the identical
+// byte string (decode-encode round trip).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Encode(nil, &Message{From: 1, To: 2}))
+	f.Add(Encode(nil, &Message{From: 0, To: 3, Subs: []Submessage{
+		{Src: 0, Dst: 3, Data: []byte("abc")},
+		{Src: 7, Dst: 3, Data: nil},
+	}}))
+	corrupt := Encode(nil, &Message{From: 9, To: 9, Subs: []Submessage{{Src: 1, Dst: 2, Data: make([]byte, 100)}}})
+	corrupt[8] = 0xFF // implausible submessage count
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := Encode(nil, m)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not inverse: %d bytes in, %d bytes out", len(data), len(re))
+		}
+	})
+}
+
+// FuzzEncodeDecode drives the opposite direction with structured inputs.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(0, 1, []byte("hello"), 3, 4)
+	f.Add(100, 200, []byte{}, 0, 0)
+	f.Fuzz(func(t *testing.T, from, to int, data []byte, src, dst int) {
+		if from < 0 || to < 0 || src < 0 || dst < 0 ||
+			from > 1<<30 || to > 1<<30 || src > 1<<30 || dst > 1<<30 {
+			return
+		}
+		m := &Message{From: from, To: to, Subs: []Submessage{{Src: src, Dst: dst, Data: data}}}
+		got, err := Decode(Encode(nil, m))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if got.From != from || got.To != to || len(got.Subs) != 1 {
+			t.Fatal("header mismatch")
+		}
+		if got.Subs[0].Src != src || got.Subs[0].Dst != dst || !bytes.Equal(got.Subs[0].Data, data) {
+			t.Fatal("submessage mismatch")
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package msg
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageSizes(t *testing.T) {
+	m := &Message{
+		From: 1,
+		To:   2,
+		Subs: []Submessage{
+			{Src: 1, Dst: 5, Data: []byte("hello")},
+			{Src: 3, Dst: 2, Data: nil},
+			{Src: 1, Dst: 7, Data: []byte{1, 2, 3}},
+		},
+	}
+	if got := m.PayloadBytes(); got != 8 {
+		t.Errorf("PayloadBytes = %d, want 8", got)
+	}
+	want := msgHeaderLen + 3*subHeaderLen + 8
+	if got := m.WireLen(); got != want {
+		t.Errorf("WireLen = %d, want %d", got, want)
+	}
+	if got := len(Encode(nil, m)); got != want {
+		t.Errorf("encoded length = %d, want WireLen %d", got, want)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := &Message{
+		From: 12,
+		To:   40,
+		Subs: []Submessage{
+			{Src: 12, Dst: 3, Data: []byte("abc")},
+			{Src: 9, Dst: 40, Data: []byte{}},
+			{Src: 0, Dst: 63, Data: bytes.Repeat([]byte{0xAB}, 1000)},
+		},
+	}
+	got, err := Decode(Encode(nil, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != m.From || got.To != m.To || len(got.Subs) != len(m.Subs) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range m.Subs {
+		if got.Subs[i].Src != m.Subs[i].Src || got.Subs[i].Dst != m.Subs[i].Dst {
+			t.Errorf("sub %d endpoints mismatch", i)
+		}
+		if !bytes.Equal(got.Subs[i].Data, m.Subs[i].Data) {
+			t.Errorf("sub %d data mismatch", i)
+		}
+	}
+}
+
+func TestDecodeEmptySubs(t *testing.T) {
+	m := &Message{From: 0, To: 1}
+	got, err := Decode(Encode(nil, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Subs) != 0 {
+		t.Errorf("expected no subs, got %d", len(got.Subs))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	m := &Message{From: 1, To: 2, Subs: []Submessage{{Src: 1, Dst: 2, Data: []byte("xyz")}}}
+	enc := Encode(nil, m)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Errorf("Decode of %d/%d bytes should fail", cut, len(enc))
+		}
+	}
+	// Trailing garbage must be rejected.
+	if _, err := Decode(append(append([]byte(nil), enc...), 0xFF)); err == nil {
+		t.Error("Decode with trailing byte should fail")
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(from, to uint16, payloads [][]byte, srcs []uint16) bool {
+		m := &Message{From: int(from), To: int(to)}
+		for i, p := range payloads {
+			src, dst := 0, 1
+			if len(srcs) > 0 {
+				src = int(srcs[i%len(srcs)])
+				dst = int(srcs[(i+1)%len(srcs)])
+			}
+			m.Subs = append(m.Subs, Submessage{Src: src, Dst: dst, Data: p})
+		}
+		got, err := Decode(Encode(nil, m))
+		if err != nil {
+			return false
+		}
+		if got.From != m.From || got.To != m.To || len(got.Subs) != len(m.Subs) {
+			return false
+		}
+		for i := range m.Subs {
+			a, b := got.Subs[i], m.Subs[i]
+			if a.Src != b.Src || a.Dst != b.Dst || !bytes.Equal(a.Data, b.Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForwardBuffers(t *testing.T) {
+	fb := NewForwardBuffers([]int{4, 2})
+	fb.Put(0, 3, Submessage{Src: 0, Dst: 7, Data: []byte("aa")})
+	fb.Put(0, 3, Submessage{Src: 1, Dst: 7, Data: []byte("b")})
+	fb.Put(1, 0, Submessage{Src: 2, Dst: 4, Data: []byte("cccc")})
+	if fb.SubCount() != 3 {
+		t.Errorf("SubCount = %d", fb.SubCount())
+	}
+	if fb.PayloadBytes() != 7 {
+		t.Errorf("PayloadBytes = %d", fb.PayloadBytes())
+	}
+	if got := fb.Peek(0, 3); len(got) != 2 {
+		t.Errorf("Peek len = %d", len(got))
+	}
+	got := fb.Take(0, 3)
+	if len(got) != 2 {
+		t.Fatalf("Take len = %d", len(got))
+	}
+	if fb.Take(0, 3) != nil {
+		t.Error("Take must drain the buffer")
+	}
+	if fb.SubCount() != 1 {
+		t.Errorf("SubCount after Take = %d", fb.SubCount())
+	}
+	if got := fb.Dims(); !reflect.DeepEqual(got, []int{4, 2}) {
+		t.Errorf("Dims = %v", got)
+	}
+}
+
+func TestSortSubs(t *testing.T) {
+	subs := []Submessage{
+		{Src: 2, Dst: 1}, {Src: 0, Dst: 9}, {Src: 2, Dst: 0}, {Src: 0, Dst: 3},
+	}
+	SortSubs(subs)
+	want := []Submessage{{Src: 0, Dst: 3}, {Src: 0, Dst: 9}, {Src: 2, Dst: 0}, {Src: 2, Dst: 1}}
+	for i := range want {
+		if subs[i].Src != want[i].Src || subs[i].Dst != want[i].Dst {
+			t.Fatalf("order wrong at %d: %+v", i, subs)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := &Message{From: 0, To: 3, Subs: []Submessage{{Src: 0, Dst: 3}}}
+	if err := ok.Validate(4); err != nil {
+		t.Errorf("valid frame rejected: %v", err)
+	}
+	for _, bad := range []*Message{
+		{From: -1, To: 0},
+		{From: 0, To: 4},
+		{From: 0, To: 0, Subs: []Submessage{{Src: 5, Dst: 0}}},
+		{From: 0, To: 0, Subs: []Submessage{{Src: 0, Dst: -2}}},
+	} {
+		if err := bad.Validate(4); err == nil {
+			t.Errorf("invalid frame accepted: %+v", bad)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := &Message{From: 0, To: 1}
+	for i := 0; i < 64; i++ {
+		data := make([]byte, 64)
+		rng.Read(data)
+		m.Subs = append(m.Subs, Submessage{Src: i, Dst: i + 1, Data: data})
+	}
+	buf := make([]byte, 0, m.WireLen())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], m)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	m := &Message{From: 0, To: 1}
+	for i := 0; i < 64; i++ {
+		m.Subs = append(m.Subs, Submessage{Src: i, Dst: i + 1, Data: make([]byte, 64)})
+	}
+	enc := Encode(nil, m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package netsim
+
+import "fmt"
+
+// Machine is a cost-model profile of a parallel system: a physical topology,
+// the process-to-node packing, and the constants of the communication and
+// computation cost model.
+//
+// The message cost model is the classic postal/alpha-beta model extended
+// with a per-hop term:
+//
+//	cost(m) = Alpha + Words(m) * BetaWord + Hops(node(src), node(dst)) * GammaHop
+//
+// Alpha is the message startup (injection + software) latency. BetaWord is
+// the *effective* per-8-byte-word cost: wire transfer plus the CPU cost of
+// packing submessages on the sender and scattering them into forward
+// buffers on the receiver — the per-stage processing Section 3 describes,
+// which is what makes excessive forwarding at high VPT dimensions
+// expensive in the paper's Section 6.5. GammaHop is the per-link
+// propagation cost. The paper's observation that the Cray XC40 is "more
+// latency-bound" than BlueGene/Q is encoded as a larger Alpha/BetaWord
+// ratio.
+type Machine struct {
+	Name         string
+	Topo         Topology
+	RanksPerNode int
+	Alpha        float64 // seconds per message startup
+	BetaWord     float64 // seconds per 8-byte word
+	SubCost      float64 // seconds per submessage carried (header parse + scatter, lines 14-17 of Algorithm 1)
+	GammaHop     float64 // seconds per network hop
+	FlopTime     float64 // seconds per floating-point op in local SpMV (memory-bound effective rate)
+
+	// placement optionally permutes ranks before node packing; nil means
+	// linear packing (rank r on node r / RanksPerNode). Set WithPlacement.
+	placement []int
+}
+
+// Node returns the physical node hosting a rank: linear packing, optionally
+// through a rank placement permutation.
+func (m *Machine) Node(rank int) int {
+	if m.placement != nil {
+		rank = m.placement[rank]
+	}
+	return rank / m.RanksPerNode
+}
+
+// WithPlacement returns a copy of m whose rank-to-node mapping routes
+// through the permutation perm (rank r occupies the slot perm[r]). It
+// implements the physical side of the paper's Section 8 future work:
+// keeping heavily-communicating ranks close in the physical topology
+// without touching the virtual topology or the routing.
+func (m *Machine) WithPlacement(perm []int) (*Machine, error) {
+	if perm == nil {
+		cp := *m
+		cp.placement = nil
+		return &cp, nil
+	}
+	seen := make([]bool, len(perm))
+	for _, p := range perm {
+		if p < 0 || p >= len(perm) || seen[p] {
+			return nil, fmt.Errorf("netsim: placement is not a permutation")
+		}
+		seen[p] = true
+	}
+	cp := *m
+	cp.placement = append([]int(nil), perm...)
+	return &cp, nil
+}
+
+// MsgCost prices one message of `words` 8-byte words aggregating `subs`
+// submessages between two ranks. The per-submessage term models the
+// receiver-side scatter of Algorithm 1 (each submessage's destination is
+// inspected and the payload moved into a forward buffer) and the sender's
+// gather; it is what makes excessive forwarding at very high VPT
+// dimensions costly, as Section 6.5 observes.
+func (m *Machine) MsgCost(from, to int, words, subs int64) float64 {
+	return m.Alpha + float64(words)*m.BetaWord + float64(subs)*m.SubCost +
+		float64(m.Topo.Hops(m.Node(from), m.Node(to)))*m.GammaHop
+}
+
+// Validate checks that the machine can host K ranks.
+func (m *Machine) Validate(K int) error {
+	if m.RanksPerNode < 1 {
+		return fmt.Errorf("netsim: %s: RanksPerNode %d", m.Name, m.RanksPerNode)
+	}
+	need := (K + m.RanksPerNode - 1) / m.RanksPerNode
+	if m.Topo.Nodes() < need {
+		return fmt.Errorf("netsim: %s: %d nodes cannot host %d ranks at %d per node",
+			m.Name, m.Topo.Nodes(), K, m.RanksPerNode)
+	}
+	return nil
+}
+
+// The three machine profiles of the paper's evaluation. The constants are
+// calibrated to public latency/bandwidth figures of the respective
+// interconnects (not to the paper's tables): BG/Q Torus ~2.5-5us MPI
+// latency, ~1.8GB/s usable per-link bandwidth; Gemini ~1.5us, ~5GB/s; Aries
+// ~1.3us hardware but a high software startup relative to its ~10GB/s
+// bandwidth. What matters for reproducing the paper's shapes is that
+// Alpha/BetaWord is largest on the XC40 profile, as Section 6.4 observes.
+
+// BlueGeneQ returns the BG/Q profile sized for K ranks: 5D torus, 16 ranks
+// per node.
+func BlueGeneQ(K int) (*Machine, error) {
+	const ranksPerNode = 16
+	nodes := (K + ranksPerNode - 1) / ranksPerNode
+	topo, err := FitTorus(nodes, 5)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Name:         "BlueGene/Q (5D Torus)",
+		Topo:         topo,
+		RanksPerNode: ranksPerNode,
+		Alpha:        4.0e-6,
+		BetaWord:     15.0e-9, // wire (~2 GB/s) + pack/scatter handling on the slow A2 core
+		SubCost:      2.5e-7,  // per-submessage scatter on the 1.6 GHz A2
+		GammaHop:     4.0e-8,
+		FlopTime:     8.0e-9, // memory-bound SpMV on PowerPC A2
+	}
+	return m, m.Validate(K)
+}
+
+// CrayXK7 returns the XK7 profile sized for K ranks: 3D torus (Gemini), 16
+// ranks per node.
+func CrayXK7(K int) (*Machine, error) {
+	const ranksPerNode = 16
+	nodes := (K + ranksPerNode - 1) / ranksPerNode
+	topo, err := FitTorus(nodes, 3)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Name:         "Cray XK7 (3D Torus)",
+		Topo:         topo,
+		RanksPerNode: ranksPerNode,
+		Alpha:        3.0e-6,
+		BetaWord:     22.0e-9, // wire (~5 GB/s) dominated by per-word handling on Interlagos
+		SubCost:      3.0e-7,  // per-submessage scatter on Interlagos
+		GammaHop:     1.0e-7,
+		FlopTime:     6.0e-9,
+	}
+	return m, m.Validate(K)
+}
+
+// CrayXC40 returns the XC40 profile sized for K ranks: Dragonfly (Aries),
+// 32 ranks per node (two 16-core Haswells).
+func CrayXC40(K int) (*Machine, error) {
+	const ranksPerNode = 32
+	nodes := (K + ranksPerNode - 1) / ranksPerNode
+	topo, err := FitDragonfly(nodes)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Name:         "Cray XC40 (Dragonfly)",
+		Topo:         topo,
+		RanksPerNode: ranksPerNode,
+		Alpha:        2.6e-6,
+		BetaWord:     5.0e-9, // wire (~10 GB/s) + handling on Haswell: highest alpha/beta ratio of the three
+		SubCost:      1.0e-7, // per-submessage scatter on Haswell
+		GammaHop:     3.0e-8,
+		FlopTime:     2.0e-9,
+	}
+	return m, m.Validate(K)
+}

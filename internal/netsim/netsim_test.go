@@ -1,0 +1,271 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stfw/internal/core"
+	"stfw/internal/vpt"
+)
+
+func TestTorusHops(t *testing.T) {
+	tor, err := NewTorus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tor.Nodes() != 16 {
+		t.Fatalf("nodes = %d", tor.Nodes())
+	}
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 1},  // wrap-around in dim 0
+		{0, 5, 2},  // (1,1)
+		{0, 10, 4}, // (2,2) both distance 2
+		{0, 15, 2}, // (3,3) wraps to (1,1)
+	}
+	for _, c := range cases {
+		if got := tor.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTorusHopsSymmetric(t *testing.T) {
+	tor, _ := NewTorus(4, 2, 8)
+	f := func(a, b uint16) bool {
+		x, y := int(a)%tor.Nodes(), int(b)%tor.Nodes()
+		return tor.Hops(x, y) == tor.Hops(y, x) && tor.Hops(x, x) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitTorus(t *testing.T) {
+	for _, c := range []struct{ nodes, ndims int }{{32, 5}, {1024, 3}, {1, 3}, {100, 3}} {
+		tor, err := FitTorus(c.nodes, c.ndims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tor.Nodes() < c.nodes {
+			t.Errorf("FitTorus(%d,%d) only %d nodes", c.nodes, c.ndims, tor.Nodes())
+		}
+		if tor.Nodes() > 2*c.nodes {
+			t.Errorf("FitTorus(%d,%d) oversized: %d nodes", c.nodes, c.ndims, tor.Nodes())
+		}
+	}
+	if _, err := FitTorus(0, 3); err == nil {
+		t.Error("FitTorus(0,3) should fail")
+	}
+}
+
+func TestFitTorusBalanced(t *testing.T) {
+	tor, _ := FitTorus(1024, 3)
+	// 1024 = 2^10 over 3 dims -> dims in {8,16}; max/min <= 2.
+	min, max := 1<<30, 0
+	for _, d := range tor.dims {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max > 2*min {
+		t.Errorf("unbalanced torus dims %v", tor.dims)
+	}
+}
+
+func TestDragonflyHops(t *testing.T) {
+	df, err := NewDragonfly(4, 2, 2) // 4 nodes/group
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.Nodes() != 16 {
+		t.Fatalf("nodes = %d", df.Nodes())
+	}
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 1, 1}, // same router
+		{0, 2, 2}, // same group, different router
+		{0, 4, 5}, // different group
+		{5, 4, 1},
+	}
+	for _, c := range cases {
+		if got := df.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFitDragonfly(t *testing.T) {
+	df, err := FitDragonfly(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.Nodes() < 128 {
+		t.Errorf("nodes = %d", df.Nodes())
+	}
+	df1, _ := FitDragonfly(1)
+	if df1.Nodes() < 1 {
+		t.Error("FitDragonfly(1)")
+	}
+}
+
+func TestMeanHops(t *testing.T) {
+	tor, _ := NewTorus(4)
+	// ring of 4: distances 1,2,1 -> mean 4/3
+	if got, want := MeanHops(tor), 4.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeanHops = %v, want %v", got, want)
+	}
+	single, _ := NewTorus(1)
+	if MeanHops(single) != 0 {
+		t.Error("MeanHops of 1 node must be 0")
+	}
+}
+
+func TestMachineProfiles(t *testing.T) {
+	for _, build := range []func(int) (*Machine, error){BlueGeneQ, CrayXK7, CrayXC40} {
+		m, err := build(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(512); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		if m.Alpha <= 0 || m.BetaWord <= 0 || m.FlopTime <= 0 {
+			t.Errorf("%s: nonpositive constants", m.Name)
+		}
+		// Cost must grow with message size and be at least Alpha.
+		if c := m.MsgCost(0, 1, 0, 0); c < m.Alpha {
+			t.Errorf("%s: zero-size message cheaper than Alpha", m.Name)
+		}
+		if m.MsgCost(0, 100, 1000, 1) <= m.MsgCost(0, 100, 10, 1) {
+			t.Errorf("%s: cost not increasing in size", m.Name)
+		}
+	}
+}
+
+func TestXC40MoreLatencyBound(t *testing.T) {
+	// Section 6.4 attributes XC40's larger STFW gains to a larger
+	// startup-to-per-word ratio; the profiles must encode that.
+	bgq, _ := BlueGeneQ(512)
+	xc, _ := CrayXC40(512)
+	if xc.Alpha/xc.BetaWord <= bgq.Alpha/bgq.BetaWord {
+		t.Errorf("XC40 ratio %.0f must exceed BG/Q ratio %.0f",
+			xc.Alpha/xc.BetaWord, bgq.Alpha/bgq.BetaWord)
+	}
+}
+
+func TestCommTimeDirectVsSTFW(t *testing.T) {
+	// A single hot sender with K-1 small messages: STFW on a high-dim VPT
+	// must be much cheaper than BL under any profile.
+	K := 256
+	s := core.NewSendSets(K)
+	for j := 1; j < K; j++ {
+		s.Add(0, j, 16)
+	}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := core.BuildDirectPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, _ := vpt.NewBalanced(K, 8)
+	st, err := core.BuildPlan(tp, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, build := range []func(int) (*Machine, error){BlueGeneQ, CrayXK7, CrayXC40} {
+		m, _ := build(K)
+		tBL, err := CommTime(m, bl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tST, err := CommTime(m, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tST >= tBL {
+			t.Errorf("%s: STFW (%.1fus) not faster than BL (%.1fus) on hot-spot pattern",
+				m.Name, Microseconds(tST), Microseconds(tBL))
+		}
+	}
+}
+
+func TestCommTimeAdditiveOverStages(t *testing.T) {
+	K := 64
+	s := core.Complete(K, 4)
+	tp, _ := vpt.NewBalanced(K, 3)
+	p, _ := core.BuildPlan(tp, s)
+	m, _ := BlueGeneQ(K)
+	total, err := CommTime(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages, err := StageTimes(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, st := range stages {
+		sum += st
+	}
+	if math.Abs(total-sum) > 1e-12 {
+		t.Errorf("CommTime %v != sum of StageTimes %v", total, sum)
+	}
+	if len(stages) != 3 {
+		t.Errorf("%d stages", len(stages))
+	}
+}
+
+func TestComputeAndSpMVTime(t *testing.T) {
+	K := 16
+	s := core.Complete(K, 1)
+	p, _ := core.BuildDirectPlan(s)
+	m, _ := BlueGeneQ(K)
+	nnz := make([]int64, K)
+	for i := range nnz {
+		nnz[i] = 1000
+	}
+	nnz[3] = 5000 // the busiest rank dictates
+	spmv, err := SpMVTime(m, p, nnz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, _ := CommTime(m, p)
+	wantCompute := float64(2*5000) * m.FlopTime
+	if math.Abs(spmv-comm-wantCompute) > 1e-12 {
+		t.Errorf("SpMVTime = %v, want comm %v + compute %v", spmv, comm, wantCompute)
+	}
+	if _, err := SpMVTime(m, p, nnz[:4]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestCommTimeValidatesMachine(t *testing.T) {
+	s := core.Complete(64, 1)
+	p, _ := core.BuildDirectPlan(s)
+	small, _ := NewTorus(1) // 1 node cannot host 64 ranks at 16/node
+	m := &Machine{Name: "tiny", Topo: small, RanksPerNode: 16, Alpha: 1e-6, BetaWord: 1e-9, GammaHop: 0, FlopTime: 1e-9}
+	if _, err := CommTime(m, p); err == nil {
+		t.Error("undersized machine accepted")
+	}
+}
+
+func BenchmarkCommTime(b *testing.B) {
+	K := 1024
+	s := core.Complete(K, 2)
+	tp, _ := vpt.NewBalanced(K, 5)
+	p, _ := core.BuildPlan(tp, s)
+	m, _ := CrayXK7(K)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CommTime(m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

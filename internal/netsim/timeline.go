@@ -1,0 +1,106 @@
+package netsim
+
+import (
+	"fmt"
+
+	"stfw/internal/core"
+)
+
+// CommTime prices a schedule on a machine. The model is stage-synchronous
+// max-of-sums, the standard way to bound a BSP-like schedule: within a
+// stage every process pays for the messages it sends and the messages it
+// receives (send and receive sides serialize at the NIC), the stage lasts
+// as long as its busiest process, and stages execute back to back because
+// stage d+1's sends depend on stage d's receives.
+//
+//	T = sum_d max_p [ sum_{m sent by p in d} cost(m) + sum_{m recvd by p in d} cost(m) ]
+//
+// For the single-stage direct baseline this degenerates to the busiest
+// process's total send+receive bill, which is how a maximum message count
+// near K renders an application latency-bound.
+func CommTime(m *Machine, p *core.Plan) (float64, error) {
+	if err := m.Validate(len(p.SentMsgs)); err != nil {
+		return 0, err
+	}
+	K := len(p.SentMsgs)
+	busy := make([]float64, K)
+	var total float64
+	for _, stage := range p.Stages {
+		for i := range busy {
+			busy[i] = 0
+		}
+		for _, f := range stage {
+			c := m.MsgCost(f.From, f.To, f.Words, int64(f.Subs))
+			busy[f.From] += c
+			busy[f.To] += c
+		}
+		stageTime := 0.0
+		for _, b := range busy {
+			if b > stageTime {
+				stageTime = b
+			}
+		}
+		total += stageTime
+	}
+	return total, nil
+}
+
+// StageTimes returns the per-stage times of the schedule, useful for
+// diagnosing which stage dominates.
+func StageTimes(m *Machine, p *core.Plan) ([]float64, error) {
+	if err := m.Validate(len(p.SentMsgs)); err != nil {
+		return nil, err
+	}
+	K := len(p.SentMsgs)
+	out := make([]float64, len(p.Stages))
+	busy := make([]float64, K)
+	for d, stage := range p.Stages {
+		for i := range busy {
+			busy[i] = 0
+		}
+		for _, f := range stage {
+			c := m.MsgCost(f.From, f.To, f.Words, int64(f.Subs))
+			busy[f.From] += c
+			busy[f.To] += c
+		}
+		for _, b := range busy {
+			if b > out[d] {
+				out[d] = b
+			}
+		}
+	}
+	return out, nil
+}
+
+// ComputeTime prices the computation phase of a bulk-synchronous kernel:
+// the busiest process's flop count times the machine's effective flop time.
+func ComputeTime(m *Machine, flopsPerRank []int64) float64 {
+	var max int64
+	for _, f := range flopsPerRank {
+		if f > max {
+			max = f
+		}
+	}
+	return float64(max) * m.FlopTime
+}
+
+// SpMVTime prices one iteration of the paper's row-parallel SpMV: the
+// communication phase (the plan) followed by the local multiply (2*nnz
+// flops per rank).
+func SpMVTime(m *Machine, p *core.Plan, nnzPerRank []int64) (float64, error) {
+	if len(nnzPerRank) != len(p.SentMsgs) {
+		return 0, fmt.Errorf("netsim: nnz vector length %d != world size %d", len(nnzPerRank), len(p.SentMsgs))
+	}
+	comm, err := CommTime(m, p)
+	if err != nil {
+		return 0, err
+	}
+	flops := make([]int64, len(nnzPerRank))
+	for i, nnz := range nnzPerRank {
+		flops[i] = 2 * nnz
+	}
+	return comm + ComputeTime(m, flops), nil
+}
+
+// Microseconds converts seconds to microseconds for report printing.
+func Microseconds(sec float64) float64 { return sec * 1e6 }

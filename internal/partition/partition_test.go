@@ -1,0 +1,252 @@
+package partition
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"stfw/internal/sparse"
+)
+
+func genTest(t testing.TB, rows, nnz, maxDeg int) *sparse.CSR {
+	t.Helper()
+	m, err := sparse.Generate(sparse.GenParams{
+		Name: "ptest", Rows: rows, TargetNNZ: nnz, MaxDegree: maxDeg,
+		HubRows: 2, Band: 5, TailFrac: 0.25, TailSkew: 1.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBlock(t *testing.T) {
+	p, err := Block(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+	sizes := p.Sizes()
+	if sizes[0]+sizes[1]+sizes[2] != 10 {
+		t.Fatalf("sizes %v", sizes)
+	}
+	for _, s := range sizes {
+		if s < 3 || s > 4 {
+			t.Errorf("block sizes unbalanced: %v", sizes)
+		}
+	}
+	// Contiguity.
+	for i := 1; i < 10; i++ {
+		if p.Part[i] < p.Part[i-1] {
+			t.Error("block partition not monotone")
+		}
+	}
+	if _, err := Block(5, 0); err == nil {
+		t.Error("K=0 accepted")
+	}
+}
+
+func TestBlockMoreParts(t *testing.T) {
+	// More parts than rows: some parts empty, assignments still valid.
+	p, err := Block(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, err := Random(100, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Random(100, 4, 7)
+	for i := range a.Part {
+		if a.Part[i] != b.Part[i] {
+			t.Fatal("Random not deterministic in seed")
+		}
+	}
+	c, _ := Random(100, 4, 8)
+	same := true
+	for i := range a.Part {
+		if a.Part[i] != c.Part[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical partition")
+	}
+	if err := a.Validate(100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyValidBalanced(t *testing.T) {
+	m := genTest(t, 2000, 20000, 200)
+	p, err := Greedy(m, 16, DefaultGreedy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(m.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if imb := Imbalance(m, p); imb > 1.35 {
+		t.Errorf("greedy imbalance %.3f too high", imb)
+	}
+}
+
+func TestGreedyBeatsRandomOnConnectivity(t *testing.T) {
+	m := genTest(t, 3000, 30000, 100)
+	K := 16
+	g, err := Greedy(m, K, DefaultGreedy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := Random(m.Rows, K, 1)
+	_, connG := CutColumns(m, g)
+	_, connR := CutColumns(m, r)
+	if connG >= connR {
+		t.Errorf("greedy connectivity %d not better than random %d", connG, connR)
+	}
+}
+
+func TestGreedyErrors(t *testing.T) {
+	m := genTest(t, 100, 600, 20)
+	if _, err := Greedy(m, 0, DefaultGreedy()); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Greedy(m, 4, GreedyOptions{Slack: 0.5}); err == nil {
+		t.Error("slack < 1 accepted")
+	}
+	rect, _ := sparse.FromTriples(2, 3, []sparse.Triple{{Row: 0, Col: 0, Val: 1}})
+	if _, err := Greedy(rect, 2, DefaultGreedy()); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+}
+
+func TestGreedyDefaultGammaApplied(t *testing.T) {
+	m := genTest(t, 500, 3000, 40)
+	p, err := Greedy(m, 4, GreedyOptions{Slack: 1.2}) // Gamma 0 -> default
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(m.Rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCutColumns(t *testing.T) {
+	// 4 rows, column 0 touched by rows 0,1,2,3; column 1 only by row 1.
+	ts := []sparse.Triple{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 0, Val: 1},
+		{Row: 2, Col: 0, Val: 1}, {Row: 3, Col: 0, Val: 1},
+		{Row: 1, Col: 1, Val: 1},
+	}
+	m, err := sparse.FromTriples(4, 4, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Partition{K: 2, Part: []int32{0, 0, 1, 1}}
+	cut, conn := CutColumns(m, p)
+	if cut != 1 {
+		t.Errorf("cut = %d, want 1", cut)
+	}
+	if conn != 1 { // column 0 spans 2 parts -> connectivity-1 = 1
+		t.Errorf("connectivity = %d, want 1", conn)
+	}
+	all := &Partition{K: 4, Part: []int32{0, 1, 2, 3}}
+	cut, conn = CutColumns(m, all)
+	if cut != 1 || conn != 3 {
+		t.Errorf("cut=%d conn=%d, want 1, 3", cut, conn)
+	}
+}
+
+func TestImbalancePerfect(t *testing.T) {
+	ts := []sparse.Triple{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 1},
+		{Row: 2, Col: 2, Val: 1}, {Row: 3, Col: 3, Val: 1},
+	}
+	m, _ := sparse.FromTriples(4, 4, ts)
+	p := &Partition{K: 2, Part: []int32{0, 0, 1, 1}}
+	if imb := Imbalance(m, p); imb != 1 {
+		t.Errorf("imbalance = %v, want 1", imb)
+	}
+}
+
+func TestPartRows(t *testing.T) {
+	p := &Partition{K: 2, Part: []int32{0, 1, 0, 1, 0}}
+	rows := p.PartRows()
+	if len(rows[0]) != 3 || len(rows[1]) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0] != 0 || rows[0][1] != 2 || rows[0][2] != 4 {
+		t.Errorf("part 0 rows %v", rows[0])
+	}
+}
+
+func TestValidateCatchesBadParts(t *testing.T) {
+	p := &Partition{K: 2, Part: []int32{0, 5}}
+	if err := p.Validate(2); err == nil {
+		t.Error("invalid part accepted")
+	}
+	if err := p.Validate(3); err == nil {
+		t.Error("wrong length accepted")
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	m := genTest(b, 20000, 200000, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Greedy(m, 64, DefaultGreedy()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestBlockRCMLocalityBeatsBlockOnShuffled(t *testing.T) {
+	// A banded matrix with shuffled labels: plain Block sees no locality,
+	// BlockRCM recovers it.
+	m := genTest(t, 2000, 14000, 60)
+	// Shuffle the labels via a random symmetric permutation.
+	order := make([]int, m.Rows)
+	for i := range order {
+		order[i] = i
+	}
+	rng := newTestRand(9)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	shuffled, err := sparse.Permute(m, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	K := 16
+	plain, err := Block(shuffled.Rows, K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcm, err := BlockRCM(shuffled, K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rcm.Validate(shuffled.Rows); err != nil {
+		t.Fatal(err)
+	}
+	_, connPlain := CutColumns(shuffled, plain)
+	_, connRCM := CutColumns(shuffled, rcm)
+	if connRCM >= connPlain {
+		t.Errorf("BlockRCM connectivity %d not below Block %d on shuffled banded matrix", connRCM, connPlain)
+	}
+}
+
+func TestBlockRCMValidation(t *testing.T) {
+	m := genTest(t, 100, 600, 20)
+	if _, err := BlockRCM(m, 0); err == nil {
+		t.Error("K=0 accepted")
+	}
+}
+
+func newTestRand(seed int64) *mrand.Rand { return mrand.New(mrand.NewSource(seed)) }

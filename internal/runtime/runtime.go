@@ -1,0 +1,93 @@
+// Package runtime provides the message-passing substrate the paper assumes
+// from MPI: a set of K ranks that exchange tagged point-to-point frames and
+// synchronize on barriers. The store-and-forward executor and the baseline
+// exchange are written against the Comm interface, so they run unchanged on
+// the in-process channel transport (tests, examples, benchmarks) and on the
+// TCP transport (multi-socket runs).
+package runtime
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Comm is one rank's endpoint into a world of Size() ranks. Implementations
+// must allow concurrent Send and Recv from the owning rank's goroutine; a
+// Comm value is used by exactly one rank.
+//
+// Tag semantics follow MPI: a frame sent with tag t is only matched by a
+// Recv with the same tag, and frames between a fixed (sender, receiver, tag)
+// triple are delivered in send order.
+type Comm interface {
+	// Rank returns this process's identity in [0, Size()).
+	Rank() int
+	// Size returns the number of ranks in the world, K.
+	Size() int
+	// Send delivers payload to rank `to` under `tag`. The payload may be
+	// retained by the transport; callers must not mutate it afterwards.
+	Send(to, tag int, payload []byte) error
+	// Recv blocks until a frame with `tag` arrives from rank `from` and
+	// returns its payload.
+	Recv(from, tag int) ([]byte, error)
+	// Barrier blocks until every rank in the world has entered it.
+	Barrier() error
+}
+
+// RankFunc is the body executed by each rank, analogous to an MPI program's
+// main. The returned error aborts the world run.
+type RankFunc func(c Comm) error
+
+// Run spawns one goroutine per rank over the given communicators (one per
+// rank, index = rank) and waits for all of them. It returns the first
+// non-nil error by rank order, wrapped with the rank that produced it.
+func Run(comms []Comm, fn RankFunc) error {
+	errs := make([]error, len(comms))
+	var wg sync.WaitGroup
+	for r, c := range comms {
+		wg.Add(1)
+		go func(r int, c Comm) {
+			defer wg.Done()
+			errs[r] = fn(c)
+		}(r, c)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// Barrier is a reusable K-party barrier usable by transport implementations.
+type Barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase uint64
+}
+
+// NewBarrier creates a barrier for n parties.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Await blocks until n parties have called it (per phase).
+func (b *Barrier) Await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+}

@@ -1,0 +1,99 @@
+package runtime
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeComm is a minimal Comm for exercising Run without a transport.
+type fakeComm struct {
+	rank, size int
+}
+
+func (f *fakeComm) Rank() int                     { return f.rank }
+func (f *fakeComm) Size() int                     { return f.size }
+func (f *fakeComm) Send(int, int, []byte) error   { return nil }
+func (f *fakeComm) Recv(int, int) ([]byte, error) { return nil, nil }
+func (f *fakeComm) Barrier() error                { return nil }
+
+func fakeWorld(n int) []Comm {
+	cs := make([]Comm, n)
+	for i := range cs {
+		cs[i] = &fakeComm{rank: i, size: n}
+	}
+	return cs
+}
+
+func TestRunExecutesEveryRank(t *testing.T) {
+	var count int32
+	seen := make([]int32, 8)
+	err := Run(fakeWorld(8), func(c Comm) error {
+		atomic.AddInt32(&count, 1)
+		atomic.AddInt32(&seen[c.Rank()], 1)
+		if c.Size() != 8 {
+			return errors.New("wrong size")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 8 {
+		t.Fatalf("ran %d ranks", count)
+	}
+	for r, n := range seen {
+		if n != 1 {
+			t.Errorf("rank %d ran %d times", r, n)
+		}
+	}
+}
+
+func TestRunReturnsFirstErrorByRank(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := Run(fakeWorld(4), func(c Comm) error {
+		switch c.Rank() {
+		case 1:
+			return errB
+		case 3:
+			return errA
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, errB) {
+		t.Fatalf("err = %v, want wrapped %v (lowest rank)", err, errB)
+	}
+}
+
+func TestBarrierAllPhases(t *testing.T) {
+	const N = 10
+	b := NewBarrier(N)
+	var phase0, phase1 int32
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			atomic.AddInt32(&phase0, 1)
+			b.Await()
+			if got := atomic.LoadInt32(&phase0); got != N {
+				t.Errorf("passed barrier with %d arrivals", got)
+			}
+			atomic.AddInt32(&phase1, 1)
+			b.Await()
+			if got := atomic.LoadInt32(&phase1); got != N {
+				t.Errorf("passed second barrier with %d arrivals", got)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestBarrierSingleParty(t *testing.T) {
+	b := NewBarrier(1)
+	for i := 0; i < 3; i++ {
+		b.Await() // must never block
+	}
+}

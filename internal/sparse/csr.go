@@ -1,0 +1,181 @@
+// Package sparse provides the sparse-matrix substrate of the evaluation:
+// CSR storage, structure statistics (Table 1's max degree, coefficient of
+// variation, maximum degree ratio), deterministic synthetic generators, a
+// catalog of analogs for the paper's 22 SuiteSparse matrices, and a
+// MatrixMarket-subset reader/writer.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is a sparse matrix in compressed sparse row format. RowPtr has
+// Rows+1 entries; the column indices of row i are ColIdx[RowPtr[i]:
+// RowPtr[i+1]], sorted increasing, with values in the matching positions of
+// Val.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int64
+	ColIdx     []int32
+	Val        []float64
+}
+
+// Triple is one coordinate-format nonzero.
+type Triple struct {
+	Row, Col int
+	Val      float64
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.ColIdx) }
+
+// RowDegree returns the number of nonzeros in row i.
+func (m *CSR) RowDegree(i int) int { return int(m.RowPtr[i+1] - m.RowPtr[i]) }
+
+// Row returns the column indices and values of row i (views, do not
+// modify).
+func (m *CSR) Row(i int) ([]int32, []float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.ColIdx[lo:hi], m.Val[lo:hi]
+}
+
+// FromTriples builds a CSR from coordinate entries, merging duplicates by
+// addition and sorting each row. Out-of-range entries are an error.
+func FromTriples(rows, cols int, ts []Triple) (*CSR, error) {
+	for _, t := range ts {
+		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of %dx%d", t.Row, t.Col, rows, cols)
+		}
+	}
+	sorted := make([]Triple, len(ts))
+	copy(sorted, ts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int64, rows+1)}
+	for i, t := range sorted {
+		if i > 0 && sorted[i-1].Row == t.Row && sorted[i-1].Col == t.Col {
+			m.Val[len(m.Val)-1] += t.Val
+			continue
+		}
+		m.ColIdx = append(m.ColIdx, int32(t.Col))
+		m.Val = append(m.Val, t.Val)
+		m.RowPtr[t.Row+1] = int64(len(m.ColIdx))
+	}
+	for i := 1; i <= rows; i++ {
+		if m.RowPtr[i] == 0 {
+			m.RowPtr[i] = m.RowPtr[i-1]
+		}
+	}
+	return m, nil
+}
+
+// Transpose returns the transpose of m.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{Rows: m.Cols, Cols: m.Rows, RowPtr: make([]int64, m.Cols+1)}
+	t.ColIdx = make([]int32, m.NNZ())
+	t.Val = make([]float64, m.NNZ())
+	for _, c := range m.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for i := 1; i <= m.Cols; i++ {
+		t.RowPtr[i] += t.RowPtr[i-1]
+	}
+	next := make([]int64, m.Cols)
+	copy(next, t.RowPtr[:m.Cols])
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			pos := next[c]
+			t.ColIdx[pos] = int32(i)
+			t.Val[pos] = vals[k]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// IsSymmetricPattern reports whether the sparsity pattern is symmetric
+// (values may differ).
+func (m *CSR) IsSymmetricPattern() bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	t := m.Transpose()
+	for i := range m.RowPtr {
+		if m.RowPtr[i] != t.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range m.ColIdx {
+		if m.ColIdx[i] != t.ColIdx[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MulVec computes y = m * x serially; the parallel SpMV is validated
+// against it. len(x) must equal Cols; y is allocated if nil.
+func (m *CSR) MulVec(y, x []float64) ([]float64, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("sparse: x length %d != cols %d", len(x), m.Cols)
+	}
+	if y == nil {
+		y = make([]float64, m.Rows)
+	} else if len(y) != m.Rows {
+		return nil, fmt.Errorf("sparse: y length %d != rows %d", len(y), m.Rows)
+	}
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.Row(i)
+		var sum float64
+		for k, c := range cols {
+			sum += vals[k] * x[c]
+		}
+		y[i] = sum
+	}
+	return y, nil
+}
+
+// Stats summarizes the structure of a matrix the way Table 1 does.
+type Stats struct {
+	Rows, Cols int
+	NNZ        int
+	MaxDegree  int     // max row degree
+	AvgDegree  float64 // mean row degree
+	CV         float64 // coefficient of variation of row degrees
+	MaxDR      float64 // max degree / number of rows
+}
+
+// ComputeStats returns the Table-1 statistics of m.
+func ComputeStats(m *CSR) Stats {
+	s := Stats{Rows: m.Rows, Cols: m.Cols, NNZ: m.NNZ()}
+	if m.Rows == 0 {
+		return s
+	}
+	var sum, sumsq float64
+	for i := 0; i < m.Rows; i++ {
+		d := float64(m.RowDegree(i))
+		sum += d
+		sumsq += d * d
+		if int(d) > s.MaxDegree {
+			s.MaxDegree = int(d)
+		}
+	}
+	n := float64(m.Rows)
+	s.AvgDegree = sum / n
+	variance := sumsq/n - s.AvgDegree*s.AvgDegree
+	if variance < 0 {
+		variance = 0
+	}
+	if s.AvgDegree > 0 {
+		s.CV = math.Sqrt(variance) / s.AvgDegree
+	}
+	s.MaxDR = float64(s.MaxDegree) / n
+	return s
+}

@@ -1,0 +1,107 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMatrixMarket writes m in MatrixMarket coordinate/real/general format
+// (1-based indices), the interchange format of the SuiteSparse collection
+// the paper draws its inputs from.
+func WriteMatrixMarket(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, c+1, vals[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket reads the subset of MatrixMarket this package writes:
+// coordinate format, real or pattern values, general or symmetric storage.
+// Symmetric storage is expanded to a full pattern.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket header %q", sc.Text())
+	}
+	valKind, sym := header[3], header[4]
+	if valKind != "real" && valKind != "pattern" && valKind != "integer" {
+		return nil, fmt.Errorf("sparse: unsupported value type %q", valKind)
+	}
+	if sym != "general" && sym != "symmetric" {
+		return nil, fmt.Errorf("sparse: unsupported symmetry %q", sym)
+	}
+
+	// Skip comments, read size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if rows <= 0 || cols <= 0 || nnz < 0 {
+		return nil, fmt.Errorf("sparse: bad dimensions %dx%d nnz %d", rows, cols, nnz)
+	}
+
+	ts := make([]Triple, 0, nnz)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("sparse: bad entry %q", line)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad row index %q", fields[0])
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad col index %q", fields[1])
+		}
+		v := 1.0
+		if valKind != "pattern" {
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("sparse: missing value in %q", line)
+			}
+			v, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sparse: bad value %q", fields[2])
+			}
+		}
+		ts = append(ts, Triple{Row: i - 1, Col: j - 1, Val: v})
+		if sym == "symmetric" && i != j {
+			ts = append(ts, Triple{Row: j - 1, Col: i - 1, Val: v})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return FromTriples(rows, cols, ts)
+}

@@ -1,0 +1,122 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RCM computes the reverse Cuthill-McKee ordering of a structurally
+// symmetric matrix: a breadth-first traversal from a low-degree peripheral
+// vertex, visiting neighbors in increasing degree order, reversed. It
+// reduces the matrix bandwidth, which turns a block partition into a
+// locality-aware partition — a classic, cheap alternative to the greedy
+// partitioner for mesh-like structures.
+//
+// The returned slice maps new position to old index: order[i] is the
+// original row placed at position i.
+func RCM(a *CSR) ([]int, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("sparse: RCM needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	order := make([]int, 0, n)
+	visited := make([]bool, n)
+
+	// Degree-sorted vertex list to pick component starts (lowest degree
+	// first, the standard peripheral heuristic).
+	starts := make([]int, n)
+	for i := range starts {
+		starts[i] = i
+	}
+	sort.Slice(starts, func(x, y int) bool {
+		dx, dy := a.RowDegree(starts[x]), a.RowDegree(starts[y])
+		if dx != dy {
+			return dx < dy
+		}
+		return starts[x] < starts[y]
+	})
+
+	queue := make([]int, 0, n)
+	nbuf := make([]int, 0, 64)
+	for _, s := range starts {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			cols, _ := a.Row(v)
+			nbuf = nbuf[:0]
+			for _, c := range cols {
+				if j := int(c); j != v && !visited[j] {
+					visited[j] = true
+					nbuf = append(nbuf, j)
+				}
+			}
+			sort.Slice(nbuf, func(x, y int) bool {
+				dx, dy := a.RowDegree(nbuf[x]), a.RowDegree(nbuf[y])
+				if dx != dy {
+					return dx < dy
+				}
+				return nbuf[x] < nbuf[y]
+			})
+			queue = append(queue, nbuf...)
+		}
+	}
+	// Reverse for RCM.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order, nil
+}
+
+// Permute applies a symmetric permutation: row/column `order[i]` of a moves
+// to position i of the result (P A P^T with P defined by order).
+func Permute(a *CSR, order []int) (*CSR, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("sparse: Permute needs a square matrix")
+	}
+	n := a.Rows
+	if len(order) != n {
+		return nil, fmt.Errorf("sparse: order length %d != %d", len(order), n)
+	}
+	newPos := make([]int, n) // newPos[old] = new
+	seen := make([]bool, n)
+	for newIdx, old := range order {
+		if old < 0 || old >= n || seen[old] {
+			return nil, fmt.Errorf("sparse: order is not a permutation")
+		}
+		seen[old] = true
+		newPos[old] = newIdx
+	}
+	ts := make([]Triple, 0, a.NNZ())
+	for i := 0; i < n; i++ {
+		cols, vals := a.Row(i)
+		for k, c := range cols {
+			ts = append(ts, Triple{Row: newPos[i], Col: newPos[c], Val: vals[k]})
+		}
+	}
+	return FromTriples(n, n, ts)
+}
+
+// Bandwidth returns the maximum |i - j| over stored nonzeros, the quantity
+// RCM minimizes heuristically.
+func Bandwidth(a *CSR) int {
+	bw := 0
+	for i := 0; i < a.Rows; i++ {
+		cols, _ := a.Row(i)
+		for _, c := range cols {
+			d := i - int(c)
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}

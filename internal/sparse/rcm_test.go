@@ -1,0 +1,163 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// shuffledBanded builds a banded matrix and then scrambles its labels, so
+// RCM has bandwidth to recover.
+func shuffledBanded(t *testing.T, n, band int, seed int64) *CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	var ts []Triple
+	for i := 0; i < n; i++ {
+		ts = append(ts, Triple{Row: perm[i], Col: perm[i], Val: 4})
+		for off := 1; off <= band; off++ {
+			if j := i + off; j < n {
+				ts = append(ts, Triple{Row: perm[i], Col: perm[j], Val: 1})
+				ts = append(ts, Triple{Row: perm[j], Col: perm[i], Val: 1})
+			}
+		}
+	}
+	m, err := FromTriples(n, n, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	m := shuffledBanded(t, 500, 3, 1)
+	before := Bandwidth(m)
+	order, err := RCM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := Permute(m, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Bandwidth(pm)
+	if after >= before {
+		t.Errorf("RCM did not reduce bandwidth: %d -> %d", before, after)
+	}
+	// A shuffled band-3 matrix has bandwidth near n; RCM should get it
+	// within a small constant of the true band.
+	if after > 30 {
+		t.Errorf("RCM bandwidth %d far from optimal ~3", after)
+	}
+	if pm.NNZ() != m.NNZ() {
+		t.Errorf("permutation changed nnz: %d -> %d", m.NNZ(), pm.NNZ())
+	}
+}
+
+func TestRCMIsPermutation(t *testing.T) {
+	m := shuffledBanded(t, 200, 2, 3)
+	order, err := RCM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != m.Rows {
+		t.Fatalf("order length %d", len(order))
+	}
+	seen := make([]bool, m.Rows)
+	for _, v := range order {
+		if v < 0 || v >= m.Rows || seen[v] {
+			t.Fatal("not a permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func TestRCMHandlesDisconnected(t *testing.T) {
+	// Two components: {0,1} and {2,3}, plus an isolated vertex 4.
+	ts := []Triple{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1},
+		{Row: 2, Col: 3, Val: 1}, {Row: 3, Col: 2, Val: 1},
+	}
+	m, err := FromTriples(5, 5, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := RCM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 5 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestRCMRejectsRectangular(t *testing.T) {
+	m, _ := FromTriples(2, 3, []Triple{{Row: 0, Col: 0, Val: 1}})
+	if _, err := RCM(m); err == nil {
+		t.Error("rectangular accepted")
+	}
+	if _, err := Permute(m, []int{0, 1}); err == nil {
+		t.Error("rectangular permute accepted")
+	}
+}
+
+func TestPermuteValidation(t *testing.T) {
+	m := shuffledBanded(t, 10, 1, 5)
+	if _, err := Permute(m, []int{0, 1}); err == nil {
+		t.Error("short order accepted")
+	}
+	bad := make([]int, 10)
+	if _, err := Permute(m, bad); err == nil {
+		t.Error("duplicate order accepted")
+	}
+}
+
+func TestPermutePreservesSpectrumProxy(t *testing.T) {
+	// A symmetric permutation preserves row degree multiset and values sum.
+	m := shuffledBanded(t, 100, 2, 7)
+	order, _ := RCM(m)
+	pm, err := Permute(m, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumDeg := func(a *CSR) (int, float64) {
+		d, s := 0, 0.0
+		for i := 0; i < a.Rows; i++ {
+			d += a.RowDegree(i)
+		}
+		for _, v := range a.Val {
+			s += v
+		}
+		return d, s
+	}
+	d1, s1 := sumDeg(m)
+	d2, s2 := sumDeg(pm)
+	if d1 != d2 || s1 != s2 {
+		t.Errorf("permutation not structure-preserving: (%d,%g) vs (%d,%g)", d1, s1, d2, s2)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	m, _ := FromTriples(4, 4, []Triple{
+		{Row: 0, Col: 0, Val: 1}, {Row: 0, Col: 3, Val: 1}, {Row: 2, Col: 1, Val: 1},
+	})
+	if bw := Bandwidth(m); bw != 3 {
+		t.Errorf("bandwidth %d, want 3", bw)
+	}
+	empty, _ := FromTriples(3, 3, nil)
+	if bw := Bandwidth(empty); bw != 0 {
+		t.Errorf("empty bandwidth %d", bw)
+	}
+}
+
+func BenchmarkRCM(b *testing.B) {
+	m, err := Generate(GenParams{Name: "rcm", Rows: 20000, TargetNNZ: 200000, MaxDegree: 100, HubRows: 2, Band: 6, TailFrac: 0.1, TailSkew: 1.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RCM(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,420 @@
+package sparse
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustFromTriples(t *testing.T, rows, cols int, ts []Triple) *CSR {
+	t.Helper()
+	m, err := FromTriples(rows, cols, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFromTriples(t *testing.T) {
+	m := mustFromTriples(t, 3, 4, []Triple{
+		{2, 1, 5}, {0, 0, 1}, {0, 3, 2}, {2, 1, 3}, // duplicate merges to 8
+	})
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d", m.NNZ())
+	}
+	if m.RowDegree(0) != 2 || m.RowDegree(1) != 0 || m.RowDegree(2) != 1 {
+		t.Errorf("row degrees wrong")
+	}
+	cols, vals := m.Row(2)
+	if len(cols) != 1 || cols[0] != 1 || vals[0] != 8 {
+		t.Errorf("row 2 = %v %v", cols, vals)
+	}
+	cols0, _ := m.Row(0)
+	if cols0[0] != 0 || cols0[1] != 3 {
+		t.Errorf("row 0 not sorted: %v", cols0)
+	}
+}
+
+func TestFromTriplesOutOfRange(t *testing.T) {
+	if _, err := FromTriples(2, 2, []Triple{{2, 0, 1}}); err == nil {
+		t.Error("row out of range accepted")
+	}
+	if _, err := FromTriples(2, 2, []Triple{{0, -1, 1}}); err == nil {
+		t.Error("negative col accepted")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := mustFromTriples(t, 2, 3, []Triple{{0, 0, 1}, {0, 2, 2}, {1, 1, 3}})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.NNZ() != 3 {
+		t.Fatalf("transpose shape %dx%d nnz %d", tr.Rows, tr.Cols, tr.NNZ())
+	}
+	cols, vals := tr.Row(2)
+	if len(cols) != 1 || cols[0] != 0 || vals[0] != 2 {
+		t.Errorf("transpose row 2 = %v %v", cols, vals)
+	}
+	// Double transpose is identity.
+	trtr := tr.Transpose()
+	for i := 0; i <= m.Rows; i++ {
+		if m.RowPtr[i] != trtr.RowPtr[i] {
+			t.Fatal("double transpose rowptr differs")
+		}
+	}
+	for k := range m.ColIdx {
+		if m.ColIdx[k] != trtr.ColIdx[k] || m.Val[k] != trtr.Val[k] {
+			t.Fatal("double transpose entries differ")
+		}
+	}
+}
+
+func TestIsSymmetricPattern(t *testing.T) {
+	sym := mustFromTriples(t, 2, 2, []Triple{{0, 1, 5}, {1, 0, 7}, {0, 0, 1}})
+	if !sym.IsSymmetricPattern() {
+		t.Error("symmetric pattern not detected")
+	}
+	asym := mustFromTriples(t, 2, 2, []Triple{{0, 1, 5}})
+	if asym.IsSymmetricPattern() {
+		t.Error("asymmetric pattern accepted")
+	}
+	rect := mustFromTriples(t, 2, 3, []Triple{{0, 1, 5}})
+	if rect.IsSymmetricPattern() {
+		t.Error("rectangular matrix cannot be symmetric")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	// [1 0 2; 0 3 0] * [1 2 3] = [7, 6]
+	m := mustFromTriples(t, 2, 3, []Triple{{0, 0, 1}, {0, 2, 2}, {1, 1, 3}})
+	y, err := m.MulVec(nil, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 7 || y[1] != 6 {
+		t.Errorf("y = %v", y)
+	}
+	if _, err := m.MulVec(nil, []float64{1}); err == nil {
+		t.Error("bad x length accepted")
+	}
+	if _, err := m.MulVec(make([]float64, 5), []float64{1, 2, 3}); err == nil {
+		t.Error("bad y length accepted")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	// Degrees: 2, 1, 1 -> avg 4/3, max 2.
+	m := mustFromTriples(t, 3, 3, []Triple{{0, 0, 1}, {0, 1, 1}, {1, 1, 1}, {2, 0, 1}})
+	s := ComputeStats(m)
+	if s.MaxDegree != 2 || s.NNZ != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+	if math.Abs(s.AvgDegree-4.0/3.0) > 1e-12 {
+		t.Errorf("avg = %v", s.AvgDegree)
+	}
+	if math.Abs(s.MaxDR-2.0/3.0) > 1e-12 {
+		t.Errorf("maxdr = %v", s.MaxDR)
+	}
+	// cv of (2,1,1): mean 4/3, var = ( (2/3)^2 + 2*(1/3)^2 )/3 = 2/9
+	wantCV := math.Sqrt(2.0/9.0) / (4.0 / 3.0)
+	if math.Abs(s.CV-wantCV) > 1e-12 {
+		t.Errorf("cv = %v, want %v", s.CV, wantCV)
+	}
+}
+
+func TestGenerateBasicProperties(t *testing.T) {
+	m, err := Generate(GenParams{
+		Name: "test", Rows: 2000, TargetNNZ: 30000, MaxDegree: 400,
+		HubRows: 3, Band: 6, TailFrac: 0.3, TailSkew: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2000 || m.Cols != 2000 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	if !m.IsSymmetricPattern() {
+		t.Error("generated matrix must have symmetric pattern")
+	}
+	s := ComputeStats(m)
+	if float64(s.NNZ) < 0.8*30000 || float64(s.NNZ) > 1.2*30000 {
+		t.Errorf("nnz %d far from target 30000", s.NNZ)
+	}
+	if s.MaxDegree < 300 || s.MaxDegree > 401 {
+		t.Errorf("max degree %d far from target 400", s.MaxDegree)
+	}
+	// Full diagonal.
+	for i := 0; i < m.Rows; i++ {
+		cols, _ := m.Row(i)
+		found := false
+		for _, c := range cols {
+			if int(c) == i {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("row %d missing diagonal", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := GenParams{Name: "det", Rows: 500, TargetNNZ: 5000, MaxDegree: 100, HubRows: 2, Band: 4, TailFrac: 0.2, TailSkew: 1.4}
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("generator not deterministic")
+	}
+	for k := range a.ColIdx {
+		if a.ColIdx[k] != b.ColIdx[k] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenParams{Rows: 1}); err == nil {
+		t.Error("1-row matrix accepted")
+	}
+	// MaxDegree >= Rows is clamped, not an error.
+	m, err := Generate(GenParams{Name: "clamp", Rows: 16, TargetNNZ: 100, MaxDegree: 100, HubRows: 1, Band: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ComputeStats(m).MaxDegree > 16 {
+		t.Error("degree exceeds rows")
+	}
+}
+
+func TestScaleParams(t *testing.T) {
+	p := GenParams{Name: "s", Rows: 100000, TargetNNZ: 4000000, MaxDegree: 5000, Band: 100}
+	q := ScaleParams(p, 4)
+	if q.Rows != 25000 {
+		t.Errorf("rows = %d", q.Rows)
+	}
+	// nnz scales by factor^2 (uniform-sampling semantics).
+	if q.TargetNNZ != 250000 {
+		t.Errorf("nnz = %d", q.TargetNNZ)
+	}
+	// maxdr preserved: 5000/100000 == q.MaxDegree/25000
+	if math.Abs(float64(q.MaxDegree)/25000.0-0.05) > 0.001 {
+		t.Errorf("maxdr drifted: maxdeg %d", q.MaxDegree)
+	}
+	// density preserved: avgdeg/rows constant.
+	origDensity := float64(p.TargetNNZ) / float64(p.Rows) / float64(p.Rows)
+	newDensity := float64(q.TargetNNZ) / float64(q.Rows) / float64(q.Rows)
+	if math.Abs(newDensity-origDensity)/origDensity > 0.05 {
+		t.Errorf("density drifted: %v vs %v", newDensity, origDensity)
+	}
+	same := ScaleParams(p, 1)
+	if same.Rows != p.Rows {
+		t.Error("scale 1 must be identity")
+	}
+	// A dense original cannot exceed the 35% density clamp when shrunk.
+	dense := GenParams{Name: "d", Rows: 14340, TargetNNZ: 18068388, MaxDegree: 7229, Band: 630}
+	dq := ScaleParams(dense, 128)
+	if dq.TargetNNZ > dq.Rows*dq.Rows*35/100 {
+		t.Errorf("density clamp failed: %d nnz for %d rows", dq.TargetNNZ, dq.Rows)
+	}
+	if dq.MaxDegree > dq.Rows-1 {
+		t.Errorf("max degree %d exceeds rows %d", dq.MaxDegree, dq.Rows)
+	}
+}
+
+func TestCatalogComplete(t *testing.T) {
+	names := CatalogNames()
+	if len(names) != 22 {
+		t.Fatalf("catalog has %d entries, want 22", len(names))
+	}
+	if len(Top15Names()) != 15 {
+		t.Errorf("top15 = %d", len(Top15Names()))
+	}
+	b10 := Bottom10Names()
+	if len(b10) != 10 {
+		t.Fatalf("bottom10 = %d: %v", len(b10), b10)
+	}
+	for _, n := range b10 {
+		e, err := Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.RefNNZ <= 10_000_000 {
+			t.Errorf("%s in bottom10 with %d nnz", n, e.RefNNZ)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown matrix accepted")
+	}
+}
+
+func TestCatalogAnalogsMatchTable1(t *testing.T) {
+	// Scaled-down analogs must preserve the qualitative regimes the paper
+	// relies on: analogs of high-maxdr matrices must have high maxdr,
+	// low-cv matrices low cv.
+	if testing.Short() {
+		t.Skip("catalog sweep")
+	}
+	for _, name := range CatalogNames() {
+		e, _ := Lookup(name)
+		m, err := CatalogMatrix(name, 32)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s := ComputeStats(m)
+		if !m.IsSymmetricPattern() {
+			t.Errorf("%s: asymmetric analog", name)
+		}
+		// nnz within 35% of the scaled target.
+		want := float64(ScaleParams(e.Params, 32).TargetNNZ)
+		if f := float64(s.NNZ) / want; f < 0.65 || f > 1.35 {
+			t.Errorf("%s: nnz %d vs target %.0f (ratio %.2f)", name, s.NNZ, want, f)
+		}
+		// maxdr within a factor ~3 of the reference (regime-preserving).
+		if e.RefMaxDR > 0.01 && s.MaxDR < e.RefMaxDR/3 {
+			t.Errorf("%s: maxdr %.4f too low vs ref %.4f", name, s.MaxDR, e.RefMaxDR)
+		}
+		if e.RefMaxDR < 0.01 && s.MaxDR > 0.2 {
+			t.Errorf("%s: maxdr %.4f too high vs ref %.4f", name, s.MaxDR, e.RefMaxDR)
+		}
+		// Irregular matrices must stay irregular.
+		if e.RefCV > 1.5 && s.CV < 0.4 {
+			t.Errorf("%s: cv %.2f too regular vs ref %.2f", name, s.CV, e.RefCV)
+		}
+		if e.RefCV < 0.3 && s.CV > 1.0 {
+			t.Errorf("%s: cv %.2f too irregular vs ref %.2f", name, s.CV, e.RefCV)
+		}
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	m := mustFromTriples(t, 3, 3, []Triple{{0, 0, 1.5}, {0, 2, -2}, {2, 1, 3.25}})
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 3 || got.Cols != 3 || got.NNZ() != 3 {
+		t.Fatalf("round trip shape %dx%d nnz %d", got.Rows, got.Cols, got.NNZ())
+	}
+	for k := range m.ColIdx {
+		if got.ColIdx[k] != m.ColIdx[k] || got.Val[k] != m.Val[k] {
+			t.Fatal("round trip entries differ")
+		}
+	}
+}
+
+func TestReadMatrixMarketVariants(t *testing.T) {
+	sym := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 2
+2 1 5.0
+3 3 1.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(sym))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 3 { // (1,0), (0,1), (2,2)
+		t.Errorf("symmetric expansion nnz = %d", m.NNZ())
+	}
+	pat := `%%MatrixMarket matrix coordinate pattern general
+2 2 1
+1 2
+`
+	m2, err := ReadMatrixMarket(strings.NewReader(pat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NNZ() != 1 || m2.Val[0] != 1 {
+		t.Errorf("pattern read wrong")
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n",
+		"%%MatrixMarket matrix coordinate complex general\n2 2 1\n1 1 1 0\n",
+		"%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n1 2 1\n",
+		"%%MatrixMarket matrix coordinate real general\n-1 2 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+	} {
+		if _, err := ReadMatrixMarket(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted bad input %q", bad)
+		}
+	}
+}
+
+// Property: MulVec distributes over vector addition.
+func TestQuickMulVecLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, err := Generate(GenParams{Name: "q", Rows: 200, TargetNNZ: 2000, MaxDegree: 40, HubRows: 1, Band: 3, TailFrac: 0.2, TailSkew: 1.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x1 := make([]float64, m.Cols)
+		x2 := make([]float64, m.Cols)
+		sum := make([]float64, m.Cols)
+		for i := range x1 {
+			x1[i], x2[i] = r.NormFloat64(), r.NormFloat64()
+			sum[i] = x1[i] + x2[i]
+		}
+		y1, _ := m.MulVec(nil, x1)
+		y2, _ := m.MulVec(nil, x2)
+		ys, _ := m.MulVec(nil, sum)
+		for i := range ys {
+			if math.Abs(ys[i]-(y1[i]+y2[i])) > 1e-9*(1+math.Abs(ys[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGenerateMedium(b *testing.B) {
+	p := GenParams{Name: "bench", Rows: 20000, TargetNNZ: 400000, MaxDegree: 2000, HubRows: 8, Band: 10, TailFrac: 0.4, TailSkew: 1.5}
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	m, err := Generate(GenParams{Name: "mv", Rows: 50000, TargetNNZ: 1000000, MaxDegree: 500, HubRows: 4, Band: 8, TailFrac: 0.2, TailSkew: 1.4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = float64(i%13) * 0.5
+	}
+	y := make([]float64, m.Rows)
+	b.SetBytes(int64(m.NNZ() * 12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.MulVec(y, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

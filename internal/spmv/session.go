@@ -1,0 +1,113 @@
+package spmv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"stfw/internal/core"
+	"stfw/internal/partition"
+	"stfw/internal/runtime"
+	"stfw/internal/sparse"
+)
+
+// Session is a per-rank handle for repeated SpMV with the same matrix,
+// partition and communication pattern — the iterative-solver case. Under
+// STFW it learns the store-and-forward frame layout on the first multiply
+// and replays it afterwards (core.Persistent); under BL it caches the
+// receive list. Create one Session per rank inside the rank function and
+// reuse it across iterations.
+type Session struct {
+	c    runtime.Comm
+	a    *sparse.CSR
+	part *partition.Partition
+	pat  *Pattern
+	opt  Options
+
+	recvFrom []int            // BL: cached receive sources
+	persist  *core.Persistent // STFW: learned pattern, nil until first multiply
+	ownRows  []int            // rows this rank owns
+}
+
+// NewSession validates the configuration and prepares the per-rank state.
+func NewSession(c runtime.Comm, a *sparse.CSR, part *partition.Partition, pat *Pattern, opt Options) (*Session, error) {
+	if part.K != c.Size() {
+		return nil, fmt.Errorf("spmv: partition K=%d != communicator size %d", part.K, c.Size())
+	}
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("spmv: matrix must be square")
+	}
+	if opt.Method == STFW && opt.Topo == nil {
+		return nil, fmt.Errorf("spmv: STFW requires a topology")
+	}
+	if opt.Method != STFW && opt.Method != BL {
+		return nil, fmt.Errorf("spmv: unknown method %v", opt.Method)
+	}
+	s := &Session{c: c, a: a, part: part, pat: pat, opt: opt}
+	me := c.Rank()
+	for src := range pat.RecvIdx[me] {
+		s.recvFrom = append(s.recvFrom, src)
+	}
+	sort.Ints(s.recvFrom)
+	for i := 0; i < a.Rows; i++ {
+		if int(part.Part[i]) == me {
+			s.ownRows = append(s.ownRows, i)
+		}
+	}
+	return s, nil
+}
+
+// Multiply computes y = A*x for this rank's owned rows (other entries of
+// the returned vector are zero). Collective across all ranks that share the
+// session configuration.
+func (s *Session) Multiply(x []float64) ([]float64, error) {
+	me := s.c.Rank()
+	if len(x) != s.a.Cols {
+		return nil, fmt.Errorf("spmv: x length %d != cols %d", len(x), s.a.Cols)
+	}
+	payloads := make(map[int][]byte, len(s.pat.SendIdx[me]))
+	for dst, lst := range s.pat.SendIdx[me] {
+		buf := make([]byte, 0, 8*len(lst))
+		for _, j := range lst {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x[j]))
+		}
+		payloads[dst] = buf
+	}
+
+	var delivered *core.Delivered
+	var err error
+	switch {
+	case s.opt.Method == BL:
+		delivered, err = core.DirectExchange(s.c, payloads, s.recvFrom)
+	case s.persist == nil:
+		s.persist, delivered, err = core.NewPersistent(s.c, s.opt.Topo, payloads)
+	default:
+		delivered, err = s.persist.Run(s.c, payloads)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	halo, err := unpackHalo(me, s.pat, delivered)
+	if err != nil {
+		return nil, err
+	}
+	y := make([]float64, s.a.Rows)
+	for _, i := range s.ownRows {
+		cols, vals := s.a.Row(i)
+		var sum float64
+		for k, j := range cols {
+			xv, ok := localX(me, s.part, x, halo, int(j))
+			if !ok {
+				return nil, fmt.Errorf("spmv: rank %d missing x[%d] for row %d", me, j, i)
+			}
+			sum += vals[k] * xv
+		}
+		y[i] = sum
+	}
+	return y, nil
+}
+
+// OwnedRows returns the rows this rank computes.
+func (s *Session) OwnedRows() []int { return append([]int(nil), s.ownRows...) }

@@ -1,0 +1,205 @@
+// Package spmv implements the paper's evaluation kernel: row-parallel
+// sparse matrix-vector multiplication with a communication phase followed
+// by a computation phase. Rows (and conformally the x and y vectors) are
+// distributed by a partition; before the local multiply, the owner of x[j]
+// sends it to every process that has a nonzero in column j. The resulting
+// point-to-point pattern — irregular and latency-bound for matrices with
+// dense rows — is exactly the workload STFW regularizes.
+package spmv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"stfw/internal/core"
+	"stfw/internal/msg"
+	"stfw/internal/partition"
+	"stfw/internal/runtime"
+	"stfw/internal/sparse"
+	"stfw/internal/vpt"
+)
+
+// Pattern is the communication requirement of one distributed SpMV: which x
+// entries every rank must ship to every other rank.
+type Pattern struct {
+	K int
+	// SendIdx[src][dst] lists the global column indices whose x values src
+	// sends to dst, sorted increasing. Entries absent = no message.
+	SendIdx []map[int][]int32
+	// RecvIdx[dst][src] mirrors SendIdx from the receiver's side.
+	RecvIdx []map[int][]int32
+	// NNZ[p] is the local nonzero count of rank p (its multiply work).
+	NNZ []int64
+}
+
+// BuildPattern derives the communication pattern of A under part. A must be
+// square (row-parallel SpMV with conformal vector distribution).
+func BuildPattern(a *sparse.CSR, part *partition.Partition) (*Pattern, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("spmv: matrix must be square, got %dx%d", a.Rows, a.Cols)
+	}
+	if err := part.Validate(a.Rows); err != nil {
+		return nil, err
+	}
+	K := part.K
+	p := &Pattern{
+		K:       K,
+		SendIdx: make([]map[int][]int32, K),
+		RecvIdx: make([]map[int][]int32, K),
+		NNZ:     make([]int64, K),
+	}
+	for i := range p.SendIdx {
+		p.SendIdx[i] = map[int][]int32{}
+		p.RecvIdx[i] = map[int][]int32{}
+	}
+	for i := 0; i < a.Rows; i++ {
+		p.NNZ[part.Part[i]] += int64(a.RowDegree(i))
+	}
+	// Column j (owned by part[j]) must reach every part with a nonzero in
+	// column j. Walk rows once, deduplicating (col, part) pairs per column
+	// via a per-column scratch set keyed by the transpose.
+	at := a.Transpose()
+	seen := make([]bool, K)
+	for j := 0; j < at.Rows; j++ {
+		owner := int(part.Part[j])
+		rows, _ := at.Row(j)
+		var touched []int
+		for _, r := range rows {
+			q := int(part.Part[r])
+			if q != owner && !seen[q] {
+				seen[q] = true
+				touched = append(touched, q)
+			}
+		}
+		for _, q := range touched {
+			seen[q] = false
+			p.SendIdx[owner][q] = append(p.SendIdx[owner][q], int32(j))
+			p.RecvIdx[q][owner] = append(p.RecvIdx[q][owner], int32(j))
+		}
+	}
+	// Column walk is in increasing j, so the lists are already sorted;
+	// keep the invariant explicit against future changes.
+	for i := 0; i < K; i++ {
+		for _, lst := range p.SendIdx[i] {
+			if !sort.SliceIsSorted(lst, func(a, b int) bool { return lst[a] < lst[b] }) {
+				sort.Slice(lst, func(a, b int) bool { return lst[a] < lst[b] })
+			}
+		}
+	}
+	return p, nil
+}
+
+// SendSets converts the pattern into the core representation (message sizes
+// in 8-byte words: one word per x entry).
+func (p *Pattern) SendSets() (*core.SendSets, error) {
+	s := core.NewSendSets(p.K)
+	for src := 0; src < p.K; src++ {
+		for dst, lst := range p.SendIdx[src] {
+			s.Add(src, dst, int64(len(lst)))
+		}
+	}
+	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Method selects the communication scheme of the exchange phase.
+type Method int
+
+const (
+	// BL is the paper's baseline: direct point-to-point messages.
+	BL Method = iota
+	// STFW routes messages through the virtual process topology.
+	STFW
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case BL:
+		return "BL"
+	case STFW:
+		return "STFW"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options configures a parallel SpMV run.
+type Options struct {
+	Method Method
+	// Topo is the VPT used when Method == STFW; ignored for BL.
+	Topo *vpt.Topology
+}
+
+// Run executes one distributed SpMV y = A*x over the communicator: the
+// exchange phase under the configured method, then the local multiply. Every
+// rank passes the full (replicated) A, part, pattern, and x for simplicity
+// of setup — only the owned rows are touched — and receives back the full y
+// with its owned entries filled in (other entries zero).
+//
+// Run is collective across all ranks of c. Repeated multiplies with the
+// same configuration should use a Session, which reuses the exchange
+// pattern; Run builds a fresh one each call.
+func Run(c runtime.Comm, a *sparse.CSR, part *partition.Partition, pat *Pattern, x []float64, opt Options) ([]float64, error) {
+	sess, err := NewSession(c, a, part, pat, opt)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Multiply(x)
+}
+
+// unpackHalo decodes the delivered payloads back into (global index ->
+// value) using the receiver's RecvIdx lists, which mirror the sender's
+// packing order.
+func unpackHalo(me int, pat *Pattern, d *core.Delivered) (map[int32]float64, error) {
+	halo := make(map[int32]float64)
+	bySrc := map[int]msg.Submessage{}
+	for _, sub := range d.Subs {
+		bySrc[sub.Src] = sub
+	}
+	for src, lst := range pat.RecvIdx[me] {
+		sub, ok := bySrc[src]
+		if !ok {
+			return nil, fmt.Errorf("spmv: rank %d expected x values from %d, got none", me, src)
+		}
+		if len(sub.Data) != 8*len(lst) {
+			return nil, fmt.Errorf("spmv: rank %d: payload from %d has %d bytes, want %d",
+				me, src, len(sub.Data), 8*len(lst))
+		}
+		for i, j := range lst {
+			halo[j] = math.Float64frombits(binary.LittleEndian.Uint64(sub.Data[8*i:]))
+		}
+		delete(bySrc, src)
+	}
+	if len(bySrc) != 0 {
+		return nil, fmt.Errorf("spmv: rank %d received %d unexpected payloads", me, len(bySrc))
+	}
+	return halo, nil
+}
+
+// localX resolves x[j] from the owned vector or the halo.
+func localX(me int, part *partition.Partition, x []float64, halo map[int32]float64, j int) (float64, bool) {
+	if int(part.Part[j]) == me {
+		return x[j], true
+	}
+	v, ok := halo[int32(j)]
+	return v, ok
+}
+
+// Reduce merges per-rank y vectors (each with only its owned entries set)
+// into the full result.
+func Reduce(part *partition.Partition, ys [][]float64) ([]float64, error) {
+	if len(ys) != part.K {
+		return nil, fmt.Errorf("spmv: %d partial vectors for K=%d", len(ys), part.K)
+	}
+	n := len(part.Part)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = ys[part.Part[i]][i]
+	}
+	return out, nil
+}

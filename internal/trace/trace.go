@@ -1,0 +1,220 @@
+// Package trace instruments a runtime.Comm to record every frame an
+// exchange sends and receives, attributes frames to communication stages,
+// and verifies a live execution against its static core.Plan — the
+// schedule and the run must agree frame for frame. It doubles as a
+// debugging aid (RenderTimeline prints the per-stage traffic matrix).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"stfw/internal/core"
+	"stfw/internal/msg"
+	"stfw/internal/runtime"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	Send Kind = iota
+	Recv
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Send:
+		return "send"
+	case Recv:
+		return "recv"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded frame transfer.
+type Event struct {
+	Kind  Kind
+	Rank  int // the rank that performed the operation
+	Peer  int // the other endpoint
+	Stage int // communication stage (from the transport tag)
+	Words int64
+	Subs  int
+	Seq   int // global sequence number in recording order
+}
+
+// Recorder collects events from any number of wrapped communicators.
+type Recorder struct {
+	mu        sync.Mutex
+	events    []Event
+	maxStages int
+}
+
+// NewRecorder creates a recorder for exchanges of at most maxStages stages
+// (the topology dimension; frames with foreign tags are ignored).
+func NewRecorder(maxStages int) *Recorder {
+	return &Recorder{maxStages: maxStages}
+}
+
+// Wrap returns a communicator that records c's traffic into r.
+func (r *Recorder) Wrap(c runtime.Comm) runtime.Comm {
+	return &tracedComm{Comm: c, rec: r}
+}
+
+// Events returns a copy of the recorded events in recording order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Reset clears the recording.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = nil
+	r.mu.Unlock()
+}
+
+func (r *Recorder) record(e Event) {
+	r.mu.Lock()
+	e.Seq = len(r.events)
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+type tracedComm struct {
+	runtime.Comm
+	rec *Recorder
+}
+
+func (t *tracedComm) Send(to, tag int, payload []byte) error {
+	if stage, ok := core.TagStage(tag, t.rec.maxStages); ok {
+		if m, err := msg.Decode(payload); err == nil && len(m.Subs) > 0 {
+			t.rec.record(Event{
+				Kind: Send, Rank: t.Rank(), Peer: to, Stage: stage,
+				Words: int64(m.PayloadBytes() / 8), Subs: len(m.Subs),
+			})
+		}
+	}
+	return t.Comm.Send(to, tag, payload)
+}
+
+func (t *tracedComm) Recv(from, tag int) ([]byte, error) {
+	payload, err := t.Comm.Recv(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	if stage, ok := core.TagStage(tag, t.rec.maxStages); ok {
+		if m, derr := msg.Decode(payload); derr == nil && len(m.Subs) > 0 {
+			t.rec.record(Event{
+				Kind: Recv, Rank: t.Rank(), Peer: from, Stage: stage,
+				Words: int64(m.PayloadBytes() / 8), Subs: len(m.Subs),
+			})
+		}
+	}
+	return payload, nil
+}
+
+// frameKey identifies a directed frame within a stage.
+type frameKey struct {
+	stage, from, to int
+}
+
+// VerifyAgainstPlan checks that the recorded nonempty sends are exactly the
+// frames of the plan: same (stage, from, to) set, same words and submessage
+// counts. It returns nil when the execution matched the schedule.
+func VerifyAgainstPlan(events []Event, p *core.Plan) error {
+	want := map[frameKey]core.Frame{}
+	for d, stage := range p.Stages {
+		for _, f := range stage {
+			want[frameKey{d, f.From, f.To}] = f
+		}
+	}
+	seen := map[frameKey]bool{}
+	for _, e := range events {
+		if e.Kind != Send {
+			continue
+		}
+		k := frameKey{e.Stage, e.Rank, e.Peer}
+		f, ok := want[k]
+		if !ok {
+			return fmt.Errorf("trace: executed frame %d->%d in stage %d not in plan", e.Rank, e.Peer, e.Stage)
+		}
+		if seen[k] {
+			return fmt.Errorf("trace: frame %d->%d stage %d executed twice", e.Rank, e.Peer, e.Stage)
+		}
+		seen[k] = true
+		if e.Words != f.Words {
+			return fmt.Errorf("trace: frame %d->%d stage %d carried %d words, plan says %d",
+				e.Rank, e.Peer, e.Stage, e.Words, f.Words)
+		}
+		if e.Subs != f.Subs {
+			return fmt.Errorf("trace: frame %d->%d stage %d carried %d submessages, plan says %d",
+				e.Rank, e.Peer, e.Stage, e.Subs, f.Subs)
+		}
+	}
+	if len(seen) != len(want) {
+		return fmt.Errorf("trace: executed %d frames, plan has %d", len(seen), len(want))
+	}
+	return nil
+}
+
+// StageLoads aggregates the recorded sends per stage: frames and words.
+type StageLoad struct {
+	Stage  int
+	Frames int
+	Words  int64
+}
+
+// Loads summarizes sends per stage, sorted by stage.
+func Loads(events []Event) []StageLoad {
+	agg := map[int]*StageLoad{}
+	for _, e := range events {
+		if e.Kind != Send {
+			continue
+		}
+		l := agg[e.Stage]
+		if l == nil {
+			l = &StageLoad{Stage: e.Stage}
+			agg[e.Stage] = l
+		}
+		l.Frames++
+		l.Words += e.Words
+	}
+	out := make([]StageLoad, 0, len(agg))
+	for _, l := range agg {
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}
+
+// RenderTimeline prints the per-stage traffic summary and the busiest
+// senders, a quick visual check of how the regularization spread the load.
+func RenderTimeline(w io.Writer, events []Event, K int) {
+	fmt.Fprintf(w, "%-6s %8s %10s %14s\n", "stage", "frames", "words", "busiest rank")
+	perStageRank := map[int]map[int]int{}
+	for _, e := range events {
+		if e.Kind != Send {
+			continue
+		}
+		if perStageRank[e.Stage] == nil {
+			perStageRank[e.Stage] = map[int]int{}
+		}
+		perStageRank[e.Stage][e.Rank]++
+	}
+	for _, l := range Loads(events) {
+		busiest, most := -1, 0
+		for r, n := range perStageRank[l.Stage] {
+			if n > most || (n == most && r < busiest) {
+				busiest, most = r, n
+			}
+		}
+		fmt.Fprintf(w, "%-6d %8d %10d %8d (%d msgs)\n", l.Stage, l.Frames, l.Words, busiest, most)
+	}
+}

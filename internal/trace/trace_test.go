@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"stfw/internal/core"
+	"stfw/internal/runtime"
+	"stfw/internal/transport/chanpt"
+	"stfw/internal/vpt"
+)
+
+// runTraced executes a store-and-forward exchange for random send sets and
+// returns the recording plus the matching plan.
+func runTraced(t *testing.T, dims []int, seed int64) ([]Event, *core.Plan) {
+	t.Helper()
+	tp := vpt.MustNew(dims...)
+	K := tp.Size()
+	rng := rand.New(rand.NewSource(seed))
+	sends := core.NewSendSets(K)
+	for i := 0; i < K; i++ {
+		for j := 0; j < 3; j++ {
+			dst := rng.Intn(K)
+			if dst != i {
+				sends.Add(i, dst, int64(1+rng.Intn(4)))
+			}
+		}
+	}
+	if err := sends.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.BuildPlan(tp, sends)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := NewRecorder(tp.N())
+	w, err := chanpt.NewWorld(K, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := w.Comms()
+	wrapped := make([]runtime.Comm, K)
+	for i, c := range comms {
+		wrapped[i] = rec.Wrap(c)
+	}
+	err = runtime.Run(wrapped, func(c runtime.Comm) error {
+		payloads := map[int][]byte{}
+		for _, pr := range sends.Sets[c.Rank()] {
+			payloads[pr.Dst] = make([]byte, pr.Words*8)
+		}
+		_, err := core.Exchange(c, tp, payloads)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Events(), plan
+}
+
+func TestExecutionMatchesPlanExactly(t *testing.T) {
+	for _, dims := range [][]int{{4, 4}, {2, 2, 2, 2}, {8, 2}, {16}} {
+		events, plan := runTraced(t, dims, 11)
+		if err := VerifyAgainstPlan(events, plan); err != nil {
+			t.Errorf("dims %v: %v", dims, err)
+		}
+	}
+}
+
+func TestSendsEqualRecvs(t *testing.T) {
+	events, _ := runTraced(t, []int{4, 2, 2}, 13)
+	var sends, recvs int
+	var sentWords, recvWords int64
+	for _, e := range events {
+		switch e.Kind {
+		case Send:
+			sends++
+			sentWords += e.Words
+		case Recv:
+			recvs++
+			recvWords += e.Words
+		}
+	}
+	if sends != recvs || sentWords != recvWords {
+		t.Errorf("sends %d/%d words, recvs %d/%d words", sends, sentWords, recvs, recvWords)
+	}
+	if sends == 0 {
+		t.Error("nothing recorded")
+	}
+}
+
+func TestVerifyDetectsDeviations(t *testing.T) {
+	events, plan := runTraced(t, []int{4, 4}, 17)
+	// Find a send event to corrupt.
+	var idx = -1
+	for i, e := range events {
+		if e.Kind == Send {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no send events")
+	}
+	// Wrong word count.
+	mutated := append([]Event(nil), events...)
+	mutated[idx].Words++
+	if err := VerifyAgainstPlan(mutated, plan); err == nil {
+		t.Error("word-count deviation not detected")
+	}
+	// Phantom frame.
+	phantom := append(append([]Event(nil), events...), Event{
+		Kind: Send, Rank: 0, Peer: 1, Stage: 0, Words: 1, Subs: 1,
+	})
+	if err := VerifyAgainstPlan(phantom, plan); err == nil {
+		t.Error("phantom or duplicate frame not detected")
+	}
+	// Missing frame.
+	missing := append(append([]Event(nil), events[:idx]...), events[idx+1:]...)
+	if err := VerifyAgainstPlan(missing, plan); err == nil {
+		t.Error("missing frame not detected")
+	}
+	// Wrong submessage count.
+	badsubs := append([]Event(nil), events...)
+	badsubs[idx].Subs++
+	if err := VerifyAgainstPlan(badsubs, plan); err == nil {
+		t.Error("submessage-count deviation not detected")
+	}
+}
+
+func TestLoadsAndTimeline(t *testing.T) {
+	events, plan := runTraced(t, []int{4, 2, 2}, 19)
+	loads := Loads(events)
+	if len(loads) == 0 || len(loads) > 3 {
+		t.Fatalf("loads = %+v", loads)
+	}
+	var total int64
+	for _, l := range loads {
+		total += l.Words
+	}
+	if total != plan.TotalWords {
+		t.Errorf("traced words %d != plan %d", total, plan.TotalWords)
+	}
+	var buf bytes.Buffer
+	RenderTimeline(&buf, events, 16)
+	out := buf.String()
+	if !strings.Contains(out, "stage") || !strings.Contains(out, "busiest") {
+		t.Errorf("timeline output: %q", out)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	rec := NewRecorder(2)
+	rec.record(Event{Kind: Send})
+	if len(rec.Events()) != 1 {
+		t.Fatal("event not recorded")
+	}
+	rec.Reset()
+	if len(rec.Events()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Send.String() != "send" || Recv.String() != "recv" {
+		t.Error("kind names")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind name")
+	}
+}
+
+func TestTagStageMapping(t *testing.T) {
+	if d, ok := core.TagStage(core.StageTag(3), 5); !ok || d != 3 {
+		t.Errorf("TagStage(StageTag(3)) = %d, %v", d, ok)
+	}
+	if _, ok := core.TagStage(core.StageTag(5), 5); ok {
+		t.Error("stage beyond max accepted")
+	}
+	if _, ok := core.TagStage(12345, 5); ok {
+		t.Error("foreign tag accepted")
+	}
+}

@@ -1,0 +1,92 @@
+// Package chanpt implements the runtime.Comm interface with in-process Go
+// channels: one buffered mailbox per ordered rank pair. It executes the real
+// store-and-forward algorithm with real payloads entirely inside one OS
+// process, which makes whole-world runs with thousands of ranks cheap enough
+// for tests and benchmarks.
+package chanpt
+
+import (
+	"fmt"
+
+	"stfw/internal/runtime"
+)
+
+type frame struct {
+	tag     int
+	payload []byte
+}
+
+// World owns the mailboxes shared by all rank endpoints.
+type World struct {
+	size    int
+	mailbox [][]chan frame // [from][to]
+	barrier *runtime.Barrier
+}
+
+// NewWorld creates a world of size ranks. buffer is the per-pair mailbox
+// capacity; the stage-synchronous store-and-forward schedule needs capacity
+// 1 to avoid blocking sends, but larger values are accepted.
+func NewWorld(size, buffer int) (*World, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("chanpt: world size %d < 1", size)
+	}
+	if buffer < 1 {
+		buffer = 1
+	}
+	w := &World{size: size, barrier: runtime.NewBarrier(size)}
+	w.mailbox = make([][]chan frame, size)
+	for i := range w.mailbox {
+		w.mailbox[i] = make([]chan frame, size)
+		for j := range w.mailbox[i] {
+			w.mailbox[i][j] = make(chan frame, buffer)
+		}
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comms returns one communicator per rank, index = rank.
+func (w *World) Comms() []runtime.Comm {
+	cs := make([]runtime.Comm, w.size)
+	for r := range cs {
+		cs[r] = &comm{world: w, rank: r}
+	}
+	return cs
+}
+
+// Run executes fn on every rank of this world.
+func (w *World) Run(fn runtime.RankFunc) error { return runtime.Run(w.Comms(), fn) }
+
+type comm struct {
+	world *World
+	rank  int
+}
+
+func (c *comm) Rank() int { return c.rank }
+func (c *comm) Size() int { return c.world.size }
+
+func (c *comm) Send(to, tag int, payload []byte) error {
+	if to < 0 || to >= c.world.size {
+		return fmt.Errorf("chanpt: send to rank %d out of range [0,%d)", to, c.world.size)
+	}
+	c.world.mailbox[c.rank][to] <- frame{tag: tag, payload: payload}
+	return nil
+}
+
+func (c *comm) Recv(from, tag int) ([]byte, error) {
+	if from < 0 || from >= c.world.size {
+		return nil, fmt.Errorf("chanpt: recv from rank %d out of range [0,%d)", from, c.world.size)
+	}
+	f := <-c.world.mailbox[from][c.rank]
+	if f.tag != tag {
+		return nil, fmt.Errorf("chanpt: rank %d received tag %d from %d, expected %d", c.rank, f.tag, from, tag)
+	}
+	return f.payload, nil
+}
+
+func (c *comm) Barrier() error {
+	c.world.barrier.Await()
+	return nil
+}

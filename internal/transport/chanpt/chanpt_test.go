@@ -1,0 +1,189 @@
+package chanpt
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"stfw/internal/runtime"
+)
+
+func TestPointToPoint(t *testing.T) {
+	w, err := NewWorld(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c runtime.Comm) error {
+		switch c.Rank() {
+		case 0:
+			return c.Send(1, 42, []byte("ping"))
+		case 1:
+			p, err := c.Recv(0, 42)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(p, []byte("ping")) {
+				return fmt.Errorf("payload %q", p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0, 1); err == nil {
+		t.Error("zero-size world should fail")
+	}
+	w, _ := NewWorld(2, 0) // buffer clamped to 1
+	err := w.Run(func(c runtime.Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(5, 0, nil); err == nil {
+				return fmt.Errorf("send out of range should fail")
+			}
+			if _, err := c.Recv(-1, 0); err == nil {
+				return fmt.Errorf("recv out of range should fail")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMismatchDetected(t *testing.T) {
+	w, _ := NewWorld(2, 1)
+	err := w.Run(func(c runtime.Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 1, []byte("x"))
+		}
+		_, err := c.Recv(0, 2)
+		if err == nil {
+			return fmt.Errorf("tag mismatch not detected")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOOrderPerPair(t *testing.T) {
+	w, _ := NewWorld(2, 8)
+	err := w.Run(func(c runtime.Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < 8; i++ {
+				if err := c.Send(1, 7, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < 8; i++ {
+			p, err := c.Recv(0, 7)
+			if err != nil {
+				return err
+			}
+			if int(p[0]) != i {
+				return fmt.Errorf("out of order: got %d want %d", p[0], i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const K = 16
+	w, _ := NewWorld(K, 1)
+	var before, after int32
+	err := w.Run(func(c runtime.Comm) error {
+		atomic.AddInt32(&before, 1)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if got := atomic.LoadInt32(&before); got != K {
+			return fmt.Errorf("rank %d passed barrier with only %d arrivals", c.Rank(), got)
+		}
+		atomic.AddInt32(&after, 1)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if got := atomic.LoadInt32(&after); got != K {
+			return fmt.Errorf("reused barrier broken: %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAllRing(t *testing.T) {
+	const K = 32
+	w, _ := NewWorld(K, 1)
+	err := w.Run(func(c runtime.Comm) error {
+		right := (c.Rank() + 1) % K
+		left := (c.Rank() + K - 1) % K
+		if err := c.Send(right, 0, []byte{byte(c.Rank())}); err != nil {
+			return err
+		}
+		p, err := c.Recv(left, 0)
+		if err != nil {
+			return err
+		}
+		if int(p[0]) != left {
+			return fmt.Errorf("got token %d from %d", p[0], left)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesRankError(t *testing.T) {
+	w, _ := NewWorld(4, 1)
+	err := w.Run(func(c runtime.Comm) error {
+		if c.Rank() == 2 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := err.Error(); got != "rank 2: boom" {
+		t.Errorf("error = %q", got)
+	}
+}
+
+func BenchmarkSendRecv(b *testing.B) {
+	w, _ := NewWorld(2, 1)
+	comms := w.Comms()
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			if _, err := comms[1].Recv(0, 0); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < b.N; i++ {
+		if err := comms[0].Send(1, 0, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+}

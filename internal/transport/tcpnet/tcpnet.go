@@ -1,0 +1,245 @@
+// Package tcpnet implements the runtime.Comm interface over real TCP
+// sockets (stdlib net): each rank owns a listener on 127.0.0.1, connections
+// are dialed lazily on first send, and frames are length-prefixed. It
+// demonstrates that the store-and-forward algorithm runs unchanged over a
+// wire transport; the barrier is process-local (all ranks of a World live
+// in one OS process, each behind its own socket endpoints).
+package tcpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"stfw/internal/runtime"
+)
+
+// frame wire format: uint32 tag, uint32 payload length, payload bytes.
+// A dialed connection starts with a uint32 hello carrying the dialer rank.
+const headerLen = 8
+
+// World is a set of TCP-connected ranks within this process.
+type World struct {
+	size      int
+	listeners []net.Listener
+	addrs     []string
+	barrier   *runtime.Barrier
+
+	mu    sync.Mutex
+	conns map[connKey]*conn // send side: (from, to) -> dialed connection
+
+	inboxMu sync.Mutex
+	inbox   map[connKey]chan frameData // (from, to) -> received frames
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+type connKey struct{ from, to int }
+
+type frameData struct {
+	tag     int
+	payload []byte
+}
+
+type conn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// NewWorld starts listeners for size ranks on loopback.
+func NewWorld(size int) (*World, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("tcpnet: world size %d < 1", size)
+	}
+	w := &World{
+		size:    size,
+		barrier: runtime.NewBarrier(size),
+		conns:   map[connKey]*conn{},
+		inbox:   map[connKey]chan frameData{},
+		closed:  make(chan struct{}),
+	}
+	for r := 0; r < size; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("tcpnet: listen rank %d: %w", r, err)
+		}
+		w.listeners = append(w.listeners, ln)
+		w.addrs = append(w.addrs, ln.Addr().String())
+		w.wg.Add(1)
+		go w.acceptLoop(r, ln)
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Close shuts down all listeners and connections.
+func (w *World) Close() {
+	w.closeOnce.Do(func() { close(w.closed) })
+	for _, ln := range w.listeners {
+		ln.Close()
+	}
+	w.mu.Lock()
+	for _, c := range w.conns {
+		c.c.Close()
+	}
+	w.mu.Unlock()
+	w.wg.Wait()
+}
+
+// Comms returns one communicator per rank.
+func (w *World) Comms() []runtime.Comm {
+	cs := make([]runtime.Comm, w.size)
+	for r := range cs {
+		cs[r] = &comm{world: w, rank: r}
+	}
+	return cs
+}
+
+// Run executes fn on every rank and closes the world afterwards.
+func (w *World) Run(fn runtime.RankFunc) error {
+	defer w.Close()
+	return runtime.Run(w.Comms(), fn)
+}
+
+func (w *World) acceptLoop(rank int, ln net.Listener) {
+	defer w.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		w.wg.Add(1)
+		go w.readLoop(rank, c)
+	}
+}
+
+// readLoop consumes frames from one inbound connection and routes them to
+// the (from, to) inbox.
+func (w *World) readLoop(to int, c net.Conn) {
+	defer w.wg.Done()
+	defer c.Close()
+	var hello [4]byte
+	if _, err := io.ReadFull(c, hello[:]); err != nil {
+		return
+	}
+	from := int(binary.LittleEndian.Uint32(hello[:]))
+	if from < 0 || from >= w.size {
+		return
+	}
+	box := w.box(connKey{from, to})
+	var hdr [headerLen]byte
+	for {
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			return
+		}
+		tag := int(binary.LittleEndian.Uint32(hdr[0:]))
+		n := binary.LittleEndian.Uint32(hdr[4:])
+		if n > 1<<30 {
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(c, payload); err != nil {
+			return
+		}
+		select {
+		case box <- frameData{tag: tag, payload: payload}:
+		case <-w.closed:
+			return
+		}
+	}
+}
+
+func (w *World) box(k connKey) chan frameData {
+	w.inboxMu.Lock()
+	defer w.inboxMu.Unlock()
+	b := w.inbox[k]
+	if b == nil {
+		b = make(chan frameData, 64)
+		w.inbox[k] = b
+	}
+	return b
+}
+
+// dial returns (establishing if needed) the outbound connection from ->
+// to.
+func (w *World) dial(from, to int) (*conn, error) {
+	k := connKey{from, to}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if c := w.conns[k]; c != nil {
+		return c, nil
+	}
+	nc, err := net.Dial("tcp", w.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dial %d->%d: %w", from, to, err)
+	}
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], uint32(from))
+	if _, err := nc.Write(hello[:]); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	c := &conn{c: nc}
+	w.conns[k] = c
+	return c, nil
+}
+
+type comm struct {
+	world *World
+	rank  int
+}
+
+func (c *comm) Rank() int { return c.rank }
+func (c *comm) Size() int { return c.world.size }
+
+func (c *comm) Send(to, tag int, payload []byte) error {
+	if to < 0 || to >= c.world.size {
+		return fmt.Errorf("tcpnet: send to rank %d out of range [0,%d)", to, c.world.size)
+	}
+	cn, err := c.world.dial(c.rank, to)
+	if err != nil {
+		return err
+	}
+	var hdr [headerLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(tag))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if _, err := cn.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := cn.c.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *comm) Recv(from, tag int) ([]byte, error) {
+	if from < 0 || from >= c.world.size {
+		return nil, fmt.Errorf("tcpnet: recv from rank %d out of range [0,%d)", from, c.world.size)
+	}
+	box := c.world.box(connKey{from, c.rank})
+	select {
+	case f := <-box:
+		if f.tag != tag {
+			return nil, fmt.Errorf("tcpnet: rank %d received tag %d from %d, expected %d", c.rank, f.tag, from, tag)
+		}
+		return f.payload, nil
+	case <-c.world.closed:
+		return nil, fmt.Errorf("tcpnet: world closed while rank %d waits for %d", c.rank, from)
+	}
+}
+
+func (c *comm) Barrier() error {
+	c.world.barrier.Await()
+	return nil
+}

@@ -1,0 +1,122 @@
+package vpt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file extends the Section 5 topology-formation scheme in the two
+// directions the paper mentions but does not explore: process counts that
+// are not powers of two ("our methodology and algorithms can easily be
+// extended"), and deliberately skewed dimension sizes, which trade a worse
+// maximum message count for less forwarding (lower volume).
+
+// primeFactors returns the prime factorization of v in ascending order.
+func primeFactors(v int) []int {
+	var fs []int
+	for p := 2; p*p <= v; p++ {
+		for v%p == 0 {
+			fs = append(fs, p)
+			v /= p
+		}
+	}
+	if v > 1 {
+		fs = append(fs, v)
+	}
+	return fs
+}
+
+// NewFactored builds an n-dimensional topology for an arbitrary K >= 2 by
+// distributing K's prime factors over the dimensions as evenly as possible
+// (largest factors to the currently smallest dimension), generalizing
+// NewBalanced beyond powers of two. It fails if K has fewer than n prime
+// factors (counted with multiplicity), since every dimension needs size at
+// least 2.
+func NewFactored(K, n int) (*Topology, error) {
+	if K < 2 {
+		return nil, fmt.Errorf("vpt: K must be >= 2, got %d", K)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("vpt: n must be >= 1, got %d", n)
+	}
+	fs := primeFactors(K)
+	if len(fs) < n {
+		return nil, fmt.Errorf("vpt: K=%d has only %d prime factors, cannot form %d dimensions", K, len(fs), n)
+	}
+	dims := make([]int, n)
+	for i := range dims {
+		dims[i] = 1
+	}
+	// Largest factors first, each to the smallest dimension so far.
+	sort.Sort(sort.Reverse(sort.IntSlice(fs)))
+	for _, f := range fs {
+		smallest := 0
+		for d := 1; d < n; d++ {
+			if dims[d] < dims[smallest] {
+				smallest = d
+			}
+		}
+		dims[smallest] *= f
+	}
+	// Present larger dimensions first for consistency with NewBalanced.
+	sort.Sort(sort.Reverse(sort.IntSlice(dims)))
+	return New(dims...)
+}
+
+// MaxFactoredDim returns the largest dimension count NewFactored supports
+// for K: the number of prime factors of K with multiplicity (Omega(K)).
+func MaxFactoredDim(K int) int {
+	if K < 2 {
+		return 0
+	}
+	return len(primeFactors(K))
+}
+
+// NewSkewed builds an n-dimensional topology for a power-of-two K whose
+// dimension-size imbalance is controlled by skew in [0, 1]: skew 0
+// reproduces the balanced scheme (optimal maximum message count), skew 1
+// concentrates every movable factor of two into the first dimension
+// (K/2^(n-1), 2, ..., 2 — worst message count of the fixed-n family but
+// the least forwarding, i.e. the lowest volume blowup). Section 5 notes
+// this trade-off exists but leaves it unexplored; the skew ablation bench
+// measures it.
+func NewSkewed(K, n int, skew float64) (*Topology, error) {
+	if skew < 0 || skew > 1 {
+		return nil, fmt.Errorf("vpt: skew %g outside [0, 1]", skew)
+	}
+	base, err := NewBalanced(K, n)
+	if err != nil {
+		return nil, err
+	}
+	if n == 1 {
+		return base, nil
+	}
+	// Exponent vector of the balanced scheme, largest first.
+	exps := make([]int, n)
+	for d, k := range base.Dims() {
+		e := 0
+		for 1<<e < k {
+			e++
+		}
+		exps[d] = e
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(exps)))
+	// Movable bits: everything above 1 in dimensions 2..n.
+	movable := 0
+	for d := 1; d < n; d++ {
+		movable += exps[d] - 1
+	}
+	move := int(skew*float64(movable) + 0.5)
+	for d := n - 1; d >= 1 && move > 0; d-- {
+		for exps[d] > 1 && move > 0 {
+			exps[d]--
+			exps[0]++
+			move--
+		}
+	}
+	dims := make([]int, n)
+	for d, e := range exps {
+		dims[d] = 1 << e
+	}
+	return New(dims...)
+}

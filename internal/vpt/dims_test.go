@@ -1,0 +1,185 @@
+package vpt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimeFactors(t *testing.T) {
+	cases := []struct {
+		v    int
+		want []int
+	}{
+		{2, []int{2}},
+		{12, []int{2, 2, 3}},
+		{97, []int{97}},
+		{360, []int{2, 2, 2, 3, 3, 5}},
+		{1024, []int{2, 2, 2, 2, 2, 2, 2, 2, 2, 2}},
+	}
+	for _, c := range cases {
+		got := primeFactors(c.v)
+		if len(got) != len(c.want) {
+			t.Errorf("primeFactors(%d) = %v", c.v, got)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("primeFactors(%d) = %v", c.v, got)
+				break
+			}
+		}
+	}
+}
+
+func TestNewFactoredArbitraryK(t *testing.T) {
+	for _, c := range []struct{ K, n int }{
+		{12, 2}, {12, 3}, {60, 3}, {100, 2}, {96, 4}, {18, 2}, {210, 4},
+	} {
+		tp, err := NewFactored(c.K, c.n)
+		if err != nil {
+			t.Errorf("NewFactored(%d,%d): %v", c.K, c.n, err)
+			continue
+		}
+		if tp.Size() != c.K || tp.N() != c.n {
+			t.Errorf("NewFactored(%d,%d) = %v", c.K, c.n, tp)
+		}
+		for _, k := range tp.Dims() {
+			if k < 2 {
+				t.Errorf("NewFactored(%d,%d) has dim %d", c.K, c.n, k)
+			}
+		}
+	}
+}
+
+func TestNewFactoredMatchesBalancedForPowersOfTwo(t *testing.T) {
+	// For powers of two the factored scheme must achieve the same optimal
+	// message bound as the balanced scheme.
+	for _, K := range []int{16, 64, 256, 1024} {
+		for n := 1; n <= MaxDim(K); n++ {
+			f, err := NewFactored(K, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewBalanced(K, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.NumNeighbors() != b.NumNeighbors() {
+				t.Errorf("K=%d n=%d: factored bound %d != balanced %d",
+					K, n, f.NumNeighbors(), b.NumNeighbors())
+			}
+		}
+	}
+}
+
+func TestNewFactoredErrors(t *testing.T) {
+	if _, err := NewFactored(1, 1); err == nil {
+		t.Error("K=1 accepted")
+	}
+	if _, err := NewFactored(6, 3); err == nil {
+		t.Error("more dims than prime factors accepted")
+	}
+	if _, err := NewFactored(97, 2); err == nil {
+		t.Error("prime K with n=2 accepted")
+	}
+	if _, err := NewFactored(8, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestMaxFactoredDim(t *testing.T) {
+	for _, c := range []struct{ k, want int }{{2, 1}, {12, 3}, {97, 1}, {1024, 10}, {1, 0}} {
+		if got := MaxFactoredDim(c.k); got != c.want {
+			t.Errorf("MaxFactoredDim(%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+// Property: NewFactored always multiplies back to K with dims >= 2.
+func TestQuickNewFactoredProduct(t *testing.T) {
+	f := func(raw uint16, nRaw uint8) bool {
+		K := int(raw)%4000 + 4
+		n := int(nRaw)%3 + 1
+		tp, err := NewFactored(K, n)
+		if err != nil {
+			return true // some (K, n) are legitimately infeasible
+		}
+		prod := 1
+		for _, k := range tp.Dims() {
+			if k < 2 {
+				return false
+			}
+			prod *= k
+		}
+		return prod == K
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewSkewedEndpoints(t *testing.T) {
+	// skew 0 = balanced; skew 1 = maximally concentrated.
+	K, n := 256, 4
+	flat, err := NewSkewed(K, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal, _ := NewBalanced(K, n)
+	if !flat.Equal(bal) {
+		t.Errorf("skew 0 = %v, want %v", flat, bal)
+	}
+	sharp, err := NewSkewed(K, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustNew(32, 2, 2, 2)
+	if !sharp.Equal(want) {
+		t.Errorf("skew 1 = %v, want %v", sharp, want)
+	}
+}
+
+func TestNewSkewedTradeoffMonotone(t *testing.T) {
+	// Increasing skew must not decrease the message bound and must not
+	// increase the expected forwarding sum_d (k_d-1)/k_d.
+	K, n := 1024, 5
+	prevBound := -1
+	prevFw := 1e18
+	for _, skew := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		tp, err := NewSkewed(K, n, skew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tp.Size() != K || tp.N() != n {
+			t.Fatalf("skew %g: %v", skew, tp)
+		}
+		bound := tp.NumNeighbors()
+		fw := 0.0
+		for _, k := range tp.Dims() {
+			fw += float64(k-1) / float64(k)
+		}
+		if bound < prevBound {
+			t.Errorf("skew %g: bound %d below previous %d", skew, bound, prevBound)
+		}
+		if fw > prevFw+1e-12 {
+			t.Errorf("skew %g: forwarding %.4f above previous %.4f", skew, fw, prevFw)
+		}
+		prevBound, prevFw = bound, fw
+	}
+}
+
+func TestNewSkewedValidation(t *testing.T) {
+	if _, err := NewSkewed(64, 2, -0.1); err == nil {
+		t.Error("negative skew accepted")
+	}
+	if _, err := NewSkewed(64, 2, 1.5); err == nil {
+		t.Error("skew > 1 accepted")
+	}
+	if _, err := NewSkewed(63, 2, 0.5); err == nil {
+		t.Error("non-power-of-two K accepted")
+	}
+	one, err := NewSkewed(64, 1, 0.7)
+	if err != nil || one.N() != 1 {
+		t.Errorf("n=1 skew: %v, %v", one, err)
+	}
+}

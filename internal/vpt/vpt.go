@@ -1,0 +1,277 @@
+// Package vpt implements the virtual process topology (VPT) of Selvitopi &
+// Aykanat (SC '19): K processes organized into an n-dimensional mixed-radix
+// structure T_n(k1, ..., kn) in which the processes of each dimension-d
+// group are completely connected.
+//
+// A process is identified by its rank in [0, K) and equivalently by a vector
+// of n digits, where digit d (0-based here, 1-based in the paper) has radix
+// k_d. Two processes are neighbors in dimension d if they differ in digit d
+// and agree in every other digit. Unlike a k-ary n-cube, neighboring digits
+// may differ by more than one: each dimension-d group of k_d processes is a
+// clique, so a process has k_d - 1 neighbors per dimension and
+// sum_d (k_d - 1) neighbors in total.
+package vpt
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Topology is an immutable n-dimensional virtual process topology.
+// The zero value is not usable; construct with New, NewBalanced or Direct.
+type Topology struct {
+	dims    []int // k_1 ... k_n (internal index 0 .. n-1)
+	strides []int // strides[d] = k_0 * ... * k_{d-1}; strides[0] = 1
+	size    int   // K = product of dims
+}
+
+// ErrBadDims reports an invalid dimension-size vector.
+var ErrBadDims = errors.New("vpt: dimension sizes must all be >= 2")
+
+// New builds a topology with the given dimension sizes k_1..k_n.
+// Every size must be at least 2 (a size-1 dimension contributes nothing:
+// its groups are singletons with no neighbors).
+func New(dims ...int) (*Topology, error) {
+	if len(dims) == 0 {
+		return nil, errors.New("vpt: need at least one dimension")
+	}
+	size := 1
+	for _, k := range dims {
+		if k < 2 {
+			return nil, fmt.Errorf("%w (got %v)", ErrBadDims, dims)
+		}
+		if size > (1<<31)/k {
+			return nil, fmt.Errorf("vpt: topology too large: %v", dims)
+		}
+		size *= k
+	}
+	t := &Topology{
+		dims:    append([]int(nil), dims...),
+		strides: make([]int, len(dims)),
+		size:    size,
+	}
+	s := 1
+	for d, k := range t.dims {
+		t.strides[d] = s
+		s *= k
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error; for tests and tables of constants.
+func MustNew(dims ...int) *Topology {
+	t, err := New(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Direct returns the 1-dimensional topology T_1(K) in which every process is
+// a neighbor of every other process. Running the store-and-forward scheme on
+// it degenerates to the direct point-to-point baseline (BL in the paper).
+func Direct(K int) (*Topology, error) { return New(K) }
+
+// NewBalanced builds the n-dimensional topology for K processes using the
+// paper's Section 5 scheme, which is optimal in maximum message count:
+// K must be a power of two; the first (lg K mod n) dimensions get size
+// 2^(floor(lg K / n) + 1) and the remaining dimensions get 2^floor(lg K / n).
+// No two dimension sizes differ by more than a factor of two.
+func NewBalanced(K, n int) (*Topology, error) {
+	if K < 2 || K&(K-1) != 0 {
+		return nil, fmt.Errorf("vpt: K must be a power of two >= 2, got %d", K)
+	}
+	lg := bits.TrailingZeros(uint(K))
+	if n < 1 || n > lg {
+		return nil, fmt.Errorf("vpt: dimension n=%d out of range [1, lg2(K)=%d]", n, lg)
+	}
+	q, r := lg/n, lg%n
+	dims := make([]int, n)
+	for d := range dims {
+		if d < r {
+			dims[d] = 1 << (q + 1)
+		} else {
+			dims[d] = 1 << q
+		}
+	}
+	return New(dims...)
+}
+
+// MaxDim returns the largest VPT dimension available for K processes under
+// the balanced scheme, i.e. lg2(K) for a power-of-two K.
+func MaxDim(K int) int {
+	if K < 2 {
+		return 0
+	}
+	return bits.Len(uint(K)) - 1
+}
+
+// N returns the number of dimensions n.
+func (t *Topology) N() int { return len(t.dims) }
+
+// Size returns the total number of processes K.
+func (t *Topology) Size() int { return t.size }
+
+// Dims returns a copy of the dimension sizes k_1..k_n.
+func (t *Topology) Dims() []int { return append([]int(nil), t.dims...) }
+
+// Dim returns k_d for 0 <= d < n.
+func (t *Topology) Dim(d int) int { return t.dims[d] }
+
+// Stride returns the rank stride of dimension d: changing digit d by one
+// changes the rank by Stride(d).
+func (t *Topology) Stride(d int) int { return t.strides[d] }
+
+// Digit returns digit d of rank p, a value in [0, k_d).
+func (t *Topology) Digit(p, d int) int { return (p / t.strides[d]) % t.dims[d] }
+
+// Coords decomposes rank p into its digit vector (digit 0 first).
+func (t *Topology) Coords(p int) []int {
+	c := make([]int, len(t.dims))
+	for d := range t.dims {
+		c[d] = t.Digit(p, d)
+	}
+	return c
+}
+
+// Rank composes a digit vector back into a rank. It is the inverse of
+// Coords; digits out of range are undefined behaviour.
+func (t *Topology) Rank(coords []int) int {
+	p := 0
+	for d, c := range coords {
+		p += c * t.strides[d]
+	}
+	return p
+}
+
+// WithDigit returns the rank obtained from p by replacing digit d with x.
+// If x equals p's digit d, the result is p itself.
+func (t *Topology) WithDigit(p, d, x int) int {
+	return p + (x-t.Digit(p, d))*t.strides[d]
+}
+
+// Neighbors appends to dst the ranks of v(p, d): the k_d - 1 processes that
+// differ from p only in digit d, in increasing digit order, and returns the
+// extended slice. dst may be nil.
+func (t *Topology) Neighbors(dst []int, p, d int) []int {
+	own := t.Digit(p, d)
+	for x := 0; x < t.dims[d]; x++ {
+		if x != own {
+			dst = append(dst, t.WithDigit(p, d, x))
+		}
+	}
+	return dst
+}
+
+// NumNeighbors returns the total neighbor count sum_d (k_d - 1), which is
+// also the per-process upper bound on the number of messages sent by the
+// store-and-forward scheme (Section 4).
+func (t *Topology) NumNeighbors() int {
+	n := 0
+	for _, k := range t.dims {
+		n += k - 1
+	}
+	return n
+}
+
+// Hamming returns the number of digits in which ranks a and b differ. A
+// submessage from a to b is forwarded exactly Hamming(a, b) times by the
+// store-and-forward scheme.
+func (t *Topology) Hamming(a, b int) int {
+	h := 0
+	for d := range t.dims {
+		if t.Digit(a, d) != t.Digit(b, d) {
+			h++
+		}
+	}
+	return h
+}
+
+// FirstDiff returns the smallest dimension in which a and b differ, or -1 if
+// a == b. It is the stage in which a message from a to b is first forwarded
+// (line 5 of Algorithm 1).
+func (t *Topology) FirstDiff(a, b int) int {
+	if a == b {
+		return -1
+	}
+	for d := range t.dims {
+		if t.Digit(a, d) != t.Digit(b, d) {
+			return d
+		}
+	}
+	return -1
+}
+
+// NextDiff returns the smallest dimension strictly greater than d in which a
+// and b differ, or -1 if they agree in all of them. It decides the stage a
+// received submessage is forwarded in next (line 16 of Algorithm 1).
+func (t *Topology) NextDiff(a, b, d int) int {
+	for c := d + 1; c < len(t.dims); c++ {
+		if t.Digit(a, c) != t.Digit(b, c) {
+			return c
+		}
+	}
+	return -1
+}
+
+// RouteNext returns the next hop for a message currently held by rank cur
+// and destined for rank dst when communication for dimension d is executed:
+// cur with digit d replaced by dst's digit d. If the digits already agree it
+// returns cur (the message is stored, not forwarded, in this stage).
+func (t *Topology) RouteNext(cur, dst, d int) int {
+	return t.WithDigit(cur, d, t.Digit(dst, d))
+}
+
+// Path appends the full dimension-ordered route from src to dst (excluding
+// src, including dst when src != dst) to dst slice and returns it. The
+// length of the appended path equals Hamming(src, dst).
+func (t *Topology) Path(buf []int, src, dst int) []int {
+	cur := src
+	for d := range t.dims {
+		next := t.RouteNext(cur, dst, d)
+		if next != cur {
+			buf = append(buf, next)
+			cur = next
+		}
+	}
+	return buf
+}
+
+// GroupOf returns the ranks of the dimension-d group containing p (p's
+// neighbors in dimension d plus p itself), in increasing rank order.
+func (t *Topology) GroupOf(p, d int) []int {
+	g := make([]int, 0, t.dims[d])
+	for x := 0; x < t.dims[d]; x++ {
+		g = append(g, t.WithDigit(p, d, x))
+	}
+	return g
+}
+
+// String renders the topology as e.g. "T3(4,4,4)".
+func (t *Topology) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "T%d(", len(t.dims))
+	for d, k := range t.dims {
+		if d > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", k)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Equal reports whether two topologies have identical dimension vectors.
+func (t *Topology) Equal(o *Topology) bool {
+	if t.size != o.size || len(t.dims) != len(o.dims) {
+		return false
+	}
+	for d := range t.dims {
+		if t.dims[d] != o.dims[d] {
+			return false
+		}
+	}
+	return true
+}
