@@ -30,6 +30,17 @@ const (
 // ErrTruncated reports a frame shorter than its declared contents.
 var ErrTruncated = errors.New("msg: truncated frame")
 
+// EncodedSize returns the exact number of bytes Encode will append for m,
+// so hot paths can obtain a frame buffer of the right capacity up front
+// instead of growing one append at a time.
+func EncodedSize(m *Message) int {
+	n := msgHeaderLen + len(m.Subs)*subHeaderLen
+	for _, s := range m.Subs {
+		n += len(s.Data)
+	}
+	return n
+}
+
 // Encode appends the wire encoding of m to dst and returns the extended
 // slice.
 func Encode(dst []byte, m *Message) []byte {
@@ -49,23 +60,39 @@ func Encode(dst []byte, m *Message) []byte {
 // input buffer; callers that retain payloads past the buffer's lifetime must
 // copy them.
 func Decode(b []byte) (*Message, error) {
+	m := &Message{}
+	if err := DecodeInto(m, b); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeInto parses a frame produced by Encode into m, reusing m.Subs'
+// capacity across calls (the exchange hot path decodes one frame per
+// neighbor per stage into the same scratch Message). On error m is left in
+// an unspecified state. Submessage data aliases b, exactly as with Decode;
+// a caller that reuses m must have copied out (or finished with) the
+// previous frame's submessages first.
+func DecodeInto(m *Message, b []byte) error {
 	if len(b) < msgHeaderLen {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
-	m := &Message{
-		From: int(binary.LittleEndian.Uint32(b[0:])),
-		To:   int(binary.LittleEndian.Uint32(b[4:])),
-	}
+	m.From = int(binary.LittleEndian.Uint32(b[0:]))
+	m.To = int(binary.LittleEndian.Uint32(b[4:]))
 	nsubs := int(binary.LittleEndian.Uint32(b[8:]))
 	const maxSubs = 1 << 28
 	if nsubs < 0 || nsubs > maxSubs {
-		return nil, fmt.Errorf("msg: implausible submessage count %d", nsubs)
+		return fmt.Errorf("msg: implausible submessage count %d", nsubs)
 	}
 	b = b[msgHeaderLen:]
-	m.Subs = make([]Submessage, 0, nsubs)
+	if cap(m.Subs) >= nsubs {
+		m.Subs = m.Subs[:0]
+	} else {
+		m.Subs = make([]Submessage, 0, nsubs)
+	}
 	for i := 0; i < nsubs; i++ {
 		if len(b) < subHeaderLen {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		s := Submessage{
 			Src: int(binary.LittleEndian.Uint32(b[0:])),
@@ -74,14 +101,14 @@ func Decode(b []byte) (*Message, error) {
 		dlen := int(binary.LittleEndian.Uint32(b[8:]))
 		b = b[subHeaderLen:]
 		if dlen < 0 || len(b) < dlen {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		s.Data = b[:dlen:dlen]
 		b = b[dlen:]
 		m.Subs = append(m.Subs, s)
 	}
 	if len(b) != 0 {
-		return nil, fmt.Errorf("msg: %d trailing bytes after frame", len(b))
+		return fmt.Errorf("msg: %d trailing bytes after frame", len(b))
 	}
-	return m, nil
+	return nil
 }

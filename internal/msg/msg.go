@@ -7,7 +7,7 @@ package msg
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Submessage is an original point-to-point payload travelling through the
@@ -85,6 +85,18 @@ func (fb *ForwardBuffers) Take(d, x int) []Submessage {
 	return s
 }
 
+// Reserve grows fwbuf[d][x] to capacity n without changing its contents.
+// The static core.Plan knows the exact final occupancy of every buffer (the
+// submessage count of the frame sent from it), so a planned exchange can
+// pre-size its buffers and avoid append growth on the hot path.
+func (fb *ForwardBuffers) Reserve(d, x, n int) {
+	if cur := fb.buf[d][x]; cap(cur) < n {
+		grown := make([]Submessage, len(cur), n)
+		copy(grown, cur)
+		fb.buf[d][x] = grown
+	}
+}
+
 // Peek returns the contents of fwbuf[d][x] without removing them.
 func (fb *ForwardBuffers) Peek(d, x int) []Submessage { return fb.buf[d][x] }
 
@@ -121,11 +133,11 @@ func (fb *ForwardBuffers) SubCount() int {
 // algorithm does not require any order; tests and the static router use it
 // to compare executions.
 func SortSubs(subs []Submessage) {
-	sort.Slice(subs, func(i, j int) bool {
-		if subs[i].Src != subs[j].Src {
-			return subs[i].Src < subs[j].Src
+	slices.SortFunc(subs, func(a, b Submessage) int {
+		if a.Src != b.Src {
+			return a.Src - b.Src
 		}
-		return subs[i].Dst < subs[j].Dst
+		return a.Dst - b.Dst
 	})
 }
 

@@ -7,6 +7,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -31,6 +32,66 @@ type Comm interface {
 	Recv(from, tag int) ([]byte, error)
 	// Barrier blocks until every rank in the world has entered it.
 	Barrier() error
+}
+
+// AnyReceiver is an optional Comm extension for arrival-order receives: the
+// pipelined exchange engine uses it to process whichever neighbor's frame
+// lands first instead of blocking on a fixed neighbor order. Transports that
+// can match frames out of sender order implement it; for everything else
+// RecvAnyOf degrades to a conforming fixed-order fallback.
+type AnyReceiver interface {
+	// RecvAnyOf blocks until a frame carrying tag from any of the listed
+	// ranks arrives, and returns the sender together with the payload.
+	// Frames from ranks not in the list (or with other tags) are left
+	// queued for later matching, and among deliverable frames the earliest
+	// arrival is returned. Implementations that cannot provide the
+	// operation (e.g. wrappers over an unknown Comm) return ErrNoRecvAny.
+	RecvAnyOf(tag int, from []int) (sender int, payload []byte, err error)
+}
+
+// ErrNoRecvAny is returned by AnyReceiver implementations (typically
+// wrappers) whose underlying transport cannot match frames in arrival
+// order; RecvAnyOf then falls back to a fixed-order Recv.
+var ErrNoRecvAny = errors.New("runtime: transport does not support arrival-order receive")
+
+// RecvAnyOf receives a tagged frame from any of the given candidate
+// senders: in arrival order when c supports it, and from the first listed
+// candidate otherwise (the fixed-order fallback is conforming because every
+// candidate is guaranteed to send exactly one frame with the tag). The
+// candidate list must be non-empty.
+func RecvAnyOf(c Comm, tag int, from []int) (int, []byte, error) {
+	if len(from) == 0 {
+		return -1, nil, errors.New("runtime: RecvAnyOf with no candidate senders")
+	}
+	if ar, ok := c.(AnyReceiver); ok {
+		sender, payload, err := ar.RecvAnyOf(tag, from)
+		if err == nil || !errors.Is(err, ErrNoRecvAny) {
+			return sender, payload, err
+		}
+	}
+	payload, err := c.Recv(from[0], tag)
+	return from[0], payload, err
+}
+
+// SendRetainer is an optional Comm extension declaring whether Send retains
+// the payload slice after returning. Zero-copy transports (in-process
+// channels handing the slice to the receiver) retain it; wire transports
+// that serialize the bytes before Send returns do not. Engines that pool
+// their send buffers use this to decide when a buffer may be reused.
+type SendRetainer interface {
+	// SendRetains reports whether payloads passed to Send remain referenced
+	// by the transport (or the receiving rank) after Send returns.
+	SendRetains() bool
+}
+
+// SendRetains reports whether c may retain payload slices passed to Send.
+// Unknown transports are assumed to retain them — the safe default under
+// the Comm contract.
+func SendRetains(c Comm) bool {
+	if r, ok := c.(SendRetainer); ok {
+		return r.SendRetains()
+	}
+	return true
 }
 
 // RankFunc is the body executed by each rank, analogous to an MPI program's

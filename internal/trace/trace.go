@@ -109,6 +109,33 @@ func (t *tracedComm) Recv(from, tag int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.recordRecv(from, tag, payload)
+	return payload, nil
+}
+
+// RecvAnyOf implements runtime.AnyReceiver by delegating to the wrapped
+// communicator, recording the matched frame under the sender the matcher
+// reported. When the wrapped communicator does not support arrival-order
+// receives the call reports runtime.ErrNoRecvAny, so runtime.RecvAnyOf
+// falls back to the traced fixed-order Recv.
+func (t *tracedComm) RecvAnyOf(tag int, from []int) (int, []byte, error) {
+	ar, ok := t.Comm.(runtime.AnyReceiver)
+	if !ok {
+		return -1, nil, runtime.ErrNoRecvAny
+	}
+	sender, payload, err := ar.RecvAnyOf(tag, from)
+	if err != nil {
+		return sender, payload, err
+	}
+	t.recordRecv(sender, tag, payload)
+	return sender, payload, nil
+}
+
+// SendRetains forwards the wrapped communicator's buffer-ownership answer
+// (defaulting to retain, the safe direction, like runtime.SendRetains).
+func (t *tracedComm) SendRetains() bool { return runtime.SendRetains(t.Comm) }
+
+func (t *tracedComm) recordRecv(from, tag int, payload []byte) {
 	if stage, ok := core.TagStage(tag, t.rec.maxStages); ok {
 		if m, derr := msg.Decode(payload); derr == nil && len(m.Subs) > 0 {
 			t.rec.record(Event{
@@ -117,7 +144,6 @@ func (t *tracedComm) Recv(from, tag int) ([]byte, error) {
 			})
 		}
 	}
-	return payload, nil
 }
 
 // frameKey identifies a directed frame within a stage.

@@ -4,6 +4,13 @@
 // demonstrates that the store-and-forward algorithm runs unchanged over a
 // wire transport; the barrier is process-local (all ranks of a World live
 // in one OS process, each behind its own socket endpoints).
+//
+// Each rank's receive side is a frame matcher holding undelivered frames in
+// arrival order, so the transport supports arrival-order receives
+// (runtime.AnyReceiver) for the pipelined exchange engine. Receive buffers
+// are drawn from the msg frame arena; the receiving exchange recycles them.
+// Send serializes the payload onto the socket before returning, so
+// SendRetains reports false and senders may recycle their buffers.
 package tcpnet
 
 import (
@@ -13,6 +20,7 @@ import (
 	"net"
 	"sync"
 
+	"stfw/internal/msg"
 	"stfw/internal/runtime"
 )
 
@@ -20,18 +28,62 @@ import (
 // A dialed connection starts with a uint32 hello carrying the dialer rank.
 const headerLen = 8
 
+// inbox is one rank's receive-side matcher: undelivered frames in arrival
+// order across all inbound connections.
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	frames []inFrame
+	closed bool
+}
+
+type inFrame struct {
+	from    int
+	tag     int
+	payload []byte
+}
+
+func newInbox() *inbox {
+	ib := &inbox{}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) push(f inFrame) bool {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.closed {
+		return false
+	}
+	ib.frames = append(ib.frames, f)
+	ib.cond.Broadcast()
+	return true
+}
+
+func (ib *inbox) close() {
+	ib.mu.Lock()
+	ib.closed = true
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
+}
+
+// pop removes frame i; the caller holds ib.mu.
+func (ib *inbox) pop(i int) []byte {
+	payload := ib.frames[i].payload
+	ib.frames = append(ib.frames[:i], ib.frames[i+1:]...)
+	return payload
+}
+
 // World is a set of TCP-connected ranks within this process.
 type World struct {
 	size      int
 	listeners []net.Listener
 	addrs     []string
 	barrier   *runtime.Barrier
+	inboxes   []*inbox
 
 	mu    sync.Mutex
 	conns map[connKey]*conn // send side: (from, to) -> dialed connection
-
-	inboxMu sync.Mutex
-	inbox   map[connKey]chan frameData // (from, to) -> received frames
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -39,11 +91,6 @@ type World struct {
 }
 
 type connKey struct{ from, to int }
-
-type frameData struct {
-	tag     int
-	payload []byte
-}
 
 type conn struct {
 	mu sync.Mutex
@@ -59,8 +106,11 @@ func NewWorld(size int) (*World, error) {
 		size:    size,
 		barrier: runtime.NewBarrier(size),
 		conns:   map[connKey]*conn{},
-		inbox:   map[connKey]chan frameData{},
+		inboxes: make([]*inbox, size),
 		closed:  make(chan struct{}),
+	}
+	for r := range w.inboxes {
+		w.inboxes[r] = newInbox()
 	}
 	for r := 0; r < size; r++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -79,7 +129,7 @@ func NewWorld(size int) (*World, error) {
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
-// Close shuts down all listeners and connections.
+// Close shuts down all listeners and connections and wakes blocked receives.
 func (w *World) Close() {
 	w.closeOnce.Do(func() { close(w.closed) })
 	for _, ln := range w.listeners {
@@ -90,6 +140,9 @@ func (w *World) Close() {
 		c.c.Close()
 	}
 	w.mu.Unlock()
+	for _, ib := range w.inboxes {
+		ib.close()
+	}
 	w.wg.Wait()
 }
 
@@ -121,7 +174,7 @@ func (w *World) acceptLoop(rank int, ln net.Listener) {
 }
 
 // readLoop consumes frames from one inbound connection and routes them to
-// the (from, to) inbox.
+// the receiving rank's matcher.
 func (w *World) readLoop(to int, c net.Conn) {
 	defer w.wg.Done()
 	defer c.Close()
@@ -133,7 +186,7 @@ func (w *World) readLoop(to int, c net.Conn) {
 	if from < 0 || from >= w.size {
 		return
 	}
-	box := w.box(connKey{from, to})
+	ib := w.inboxes[to]
 	var hdr [headerLen]byte
 	for {
 		if _, err := io.ReadFull(c, hdr[:]); err != nil {
@@ -144,27 +197,14 @@ func (w *World) readLoop(to int, c net.Conn) {
 		if n > 1<<30 {
 			return
 		}
-		payload := make([]byte, n)
+		payload := msg.GetFrameLen(int(n))
 		if _, err := io.ReadFull(c, payload); err != nil {
 			return
 		}
-		select {
-		case box <- frameData{tag: tag, payload: payload}:
-		case <-w.closed:
-			return
+		if !ib.push(inFrame{from: from, tag: tag, payload: payload}) {
+			return // world closed
 		}
 	}
-}
-
-func (w *World) box(k connKey) chan frameData {
-	w.inboxMu.Lock()
-	defer w.inboxMu.Unlock()
-	b := w.inbox[k]
-	if b == nil {
-		b = make(chan frameData, 64)
-		w.inbox[k] = b
-	}
-	return b
 }
 
 // dial returns (establishing if needed) the outbound connection from ->
@@ -199,6 +239,10 @@ type comm struct {
 func (c *comm) Rank() int { return c.rank }
 func (c *comm) Size() int { return c.world.size }
 
+// SendRetains reports false: the payload is fully serialized onto the
+// socket before Send returns, so the caller may reuse the buffer.
+func (c *comm) SendRetains() bool { return false }
+
 func (c *comm) Send(to, tag int, payload []byte) error {
 	if to < 0 || to >= c.world.size {
 		return fmt.Errorf("tcpnet: send to rank %d out of range [0,%d)", to, c.world.size)
@@ -227,15 +271,59 @@ func (c *comm) Recv(from, tag int) ([]byte, error) {
 	if from < 0 || from >= c.world.size {
 		return nil, fmt.Errorf("tcpnet: recv from rank %d out of range [0,%d)", from, c.world.size)
 	}
-	box := c.world.box(connKey{from, c.rank})
-	select {
-	case f := <-box:
-		if f.tag != tag {
-			return nil, fmt.Errorf("tcpnet: rank %d received tag %d from %d, expected %d", c.rank, f.tag, from, tag)
+	ib := c.world.inboxes[c.rank]
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for {
+		for i := range ib.frames {
+			if ib.frames[i].from != from {
+				continue
+			}
+			// Per-pair frames arrive in send order, so the oldest frame
+			// from the sender must carry the expected tag.
+			if got := ib.frames[i].tag; got != tag {
+				return nil, fmt.Errorf("tcpnet: rank %d received tag %d from %d, expected %d", c.rank, got, from, tag)
+			}
+			return ib.pop(i), nil
 		}
-		return f.payload, nil
-	case <-c.world.closed:
-		return nil, fmt.Errorf("tcpnet: world closed while rank %d waits for %d", c.rank, from)
+		if ib.closed {
+			return nil, fmt.Errorf("tcpnet: world closed while rank %d waits for %d", c.rank, from)
+		}
+		ib.cond.Wait()
+	}
+}
+
+// RecvAnyOf implements runtime.AnyReceiver: it returns the earliest-arrived
+// queued frame carrying tag whose sender is in from, blocking until one
+// exists. Frames with other tags or from other ranks stay queued.
+func (c *comm) RecvAnyOf(tag int, from []int) (int, []byte, error) {
+	if len(from) == 0 {
+		return -1, nil, fmt.Errorf("tcpnet: rank %d RecvAnyOf with no candidate senders", c.rank)
+	}
+	for _, f := range from {
+		if f < 0 || f >= c.world.size {
+			return -1, nil, fmt.Errorf("tcpnet: recv from rank %d out of range [0,%d)", f, c.world.size)
+		}
+	}
+	ib := c.world.inboxes[c.rank]
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for {
+		for i := range ib.frames {
+			if ib.frames[i].tag != tag {
+				continue
+			}
+			sender := ib.frames[i].from
+			for _, f := range from {
+				if f == sender {
+					return sender, ib.pop(i), nil
+				}
+			}
+		}
+		if ib.closed {
+			return -1, nil, fmt.Errorf("tcpnet: world closed while rank %d waits for any of %v", c.rank, from)
+		}
+		ib.cond.Wait()
 	}
 }
 

@@ -1,0 +1,190 @@
+package stfw
+
+// Benchmarks for the pipelined stage engine: the same seeded workload run
+// through the legacy ordered engine and the default pipelined one, across
+// world sizes and skew patterns. The pipelined engine overlaps each stage's
+// sends (worker goroutine, pooled frame buffers) with arrival-order
+// receives, so it should win on wall clock AND allocations — run with
+// `go test -bench PipelinedVsOrdered -benchmem` to see both.
+
+import (
+	"math/rand"
+	"testing"
+
+	"stfw/internal/runtime"
+)
+
+// powerLawSends builds a power-law skewed pattern: rank popularity and send
+// degree both follow a Zipf-like distribution, the shape of the irregular
+// applications (graphs, sparse matrices) the paper targets.
+func powerLawSends(K int, words int64) *SendSets {
+	rng := rand.New(rand.NewSource(int64(K)))
+	zipf := rand.NewZipf(rng, 1.4, 1.5, uint64(K-1))
+	s := NewSendSets(K)
+	for src := 0; src < K; src++ {
+		deg := int(zipf.Uint64()) + 1
+		for j := 0; j < deg; j++ {
+			// Bias destinations toward low ranks (popular endpoints).
+			dst := int(zipf.Uint64())
+			if dst != src {
+				s.Add(src, dst, 1+int64(j)%words)
+			}
+		}
+	}
+	if err := s.Normalize(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// scaleWords multiplies every pair's word count, turning the seeded
+// communication patterns into workloads with realistic per-pair volume: the
+// paper's irregular applications move kilobytes per communicating pair, not
+// the few words the pattern builders default to. The skew structure (who
+// talks to whom) is unchanged.
+func scaleWords(s *SendSets, f int64) *SendSets {
+	out := NewSendSets(s.K)
+	for src := range s.Sets {
+		for _, pr := range s.Sets[src] {
+			out.Add(src, pr.Dst, pr.Words*f)
+		}
+	}
+	if err := out.Normalize(); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// benchWordScale brings the 8-word pattern builders to 1024 words (8 KiB)
+// per heavy pair.
+const benchWordScale = 128
+
+// benchDim picks the topology dimension the paper's evaluation favors at
+// each world size (balanced mid-range dimension).
+func benchDim(K int) int {
+	switch {
+	case K >= 1024:
+		return 5
+	case K >= 256:
+		return 4
+	default:
+		return 3
+	}
+}
+
+func benchPayloads(s *SendSets) []map[int][]byte {
+	payloads := make([]map[int][]byte, s.K)
+	for rank := 0; rank < s.K; rank++ {
+		m := map[int][]byte{}
+		for _, pr := range s.Sets[rank] {
+			data := make([]byte, pr.Words*8)
+			for i := range data {
+				data[i] = byte(rank + i)
+			}
+			m[pr.Dst] = data
+		}
+		payloads[rank] = m
+	}
+	return payloads
+}
+
+func benchEngines(b *testing.B, K int, s *SendSets) {
+	benchEnginesDim(b, K, benchDim(K), s)
+}
+
+func benchEnginesDim(b *testing.B, K, n int, s *SendSets) {
+	topo, err := BalancedTopology(K, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payloads := benchPayloads(s)
+	plan, err := BuildPlan(topo, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engines := []struct {
+		name string
+		opts []ExchangeOpt
+	}{
+		{"ordered", []ExchangeOpt{Ordered()}},
+		{"pipelined", nil},
+		{"pipelined-plan", []ExchangeOpt{WithPlan(plan)}},
+	}
+	for _, eng := range engines {
+		eng := eng
+		b.Run(eng.name, func(b *testing.B) {
+			w, err := LocalWorld(K)
+			if err != nil {
+				b.Fatal(err)
+			}
+			comms := w.Comms()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := runtime.Run(comms, func(c runtime.Comm) error {
+					_, err := Exchange(c, topo, payloads[c.Rank()], eng.opts...)
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelinedVsOrdered is the headline comparison: same world, same
+// topology, same payloads; only the stage engine differs.
+func BenchmarkPipelinedVsOrdered(b *testing.B) {
+	for _, K := range []int{64, 256, 1024} {
+		K := K
+		b.Run("hotspot/K="+itoa(K), func(b *testing.B) {
+			benchEngines(b, K, scaleWords(hotSpotSends(K, 8), benchWordScale))
+		})
+		b.Run("powerlaw/K="+itoa(K), func(b *testing.B) {
+			benchEngines(b, K, scaleWords(powerLawSends(K, 8), benchWordScale))
+		})
+	}
+}
+
+// BenchmarkPipelinedDirect compares the two engines of the baseline
+// DirectExchange on the hot-spot pattern.
+func BenchmarkPipelinedDirect(b *testing.B) {
+	K := 256
+	s := scaleWords(hotSpotSends(K, 8), benchWordScale)
+	payloads := benchPayloads(s)
+	recv := s.RecvSets()
+	recvFrom := make([][]int, K)
+	for rank := 0; rank < K; rank++ {
+		for _, pr := range recv[rank] {
+			recvFrom[rank] = append(recvFrom[rank], pr.Dst)
+		}
+	}
+	for _, eng := range []struct {
+		name string
+		opts []ExchangeOpt
+	}{
+		{"ordered", []ExchangeOpt{Ordered()}},
+		{"pipelined", nil},
+	} {
+		eng := eng
+		b.Run(eng.name, func(b *testing.B) {
+			w, err := LocalWorld(K)
+			if err != nil {
+				b.Fatal(err)
+			}
+			comms := w.Comms()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := runtime.Run(comms, func(c runtime.Comm) error {
+					_, err := ExchangeDirect(c, payloads[c.Rank()], recvFrom[c.Rank()], eng.opts...)
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

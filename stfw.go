@@ -61,21 +61,35 @@ func DirectTopology(K int) (*Topology, error) { return vpt.Direct(K) }
 // power-of-two K (the hypercube).
 func MaxTopologyDim(K int) int { return vpt.MaxDim(K) }
 
+// ExchangeOpt configures an Exchange or ExchangeDirect call; see Ordered
+// and WithPlan.
+type ExchangeOpt = core.ExchangeOpt
+
+// Ordered selects the legacy fixed-order stage engine instead of the
+// default pipelined one (sends from a worker goroutine, receives in arrival
+// order). The paper-reproduction experiments use it to stay bit-identical
+// with the original executor.
+func Ordered() ExchangeOpt { return core.Ordered() }
+
+// WithPlan pre-sizes the exchange's forward buffers from the static plan's
+// exact per-frame occupancy, eliminating buffer growth on the hot path.
+func WithPlan(p *Plan) ExchangeOpt { return core.WithPlan(p) }
+
 // Exchange performs the store-and-forward exchange (Algorithm 1 of the
 // paper) collectively on all ranks of c: each rank contributes the payloads
 // it wants delivered (destination rank -> bytes) and receives the payloads
 // destined for it. The per-rank nonempty message count is bounded by
 // sum_d (k_d - 1).
-func Exchange(c Comm, t *Topology, payloads map[int][]byte) (*Delivered, error) {
-	return core.Exchange(c, t, payloads)
+func Exchange(c Comm, t *Topology, payloads map[int][]byte, opts ...ExchangeOpt) (*Delivered, error) {
+	return core.Exchange(c, t, payloads, opts...)
 }
 
 // ExchangeDirect performs the baseline direct exchange: payloads go
 // straight to their destinations. recvFrom lists the ranks this rank will
 // receive from (known from the application's data distribution, or
 // discovered with DiscoverSources).
-func ExchangeDirect(c Comm, payloads map[int][]byte, recvFrom []int) (*Delivered, error) {
-	return core.DirectExchange(c, payloads, recvFrom)
+func ExchangeDirect(c Comm, payloads map[int][]byte, recvFrom []int, opts ...ExchangeOpt) (*Delivered, error) {
+	return core.DirectExchange(c, payloads, recvFrom, opts...)
 }
 
 // DiscoverSources lets a rank learn which ranks will send to it when the
