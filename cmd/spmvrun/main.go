@@ -138,6 +138,17 @@ func run(matrix string, K, dim, scale int, method, transport string, iters int, 
 		return runtime.Run(comms, fn)
 	}
 
+	if !doTrace {
+		// Steady-state path: one persistent world, one compiled session per
+		// rank, all iterations inside a single collective run with a
+		// per-iteration phase breakdown.
+		if err := runSessions(runWorld, a, part, pat, x, want, opt, transport, K, iters); err != nil {
+			return err
+		}
+		fmt.Println("verified: parallel result matches serial multiply")
+		return nil
+	}
+
 	for it := 0; it < iters; it++ {
 		if recorder != nil {
 			recorder.Reset()
@@ -185,4 +196,87 @@ func run(matrix string, K, dim, scale int, method, transport string, iters int, 
 	}
 	fmt.Println("verified: parallel result matches serial multiply")
 	return nil
+}
+
+// runSessions executes all iterations through persistent per-rank sessions
+// inside one world run, reporting wall clock and the per-phase breakdown
+// (gather / exchange / kernel / reduce) every iteration. Phase maxima are
+// taken across ranks — the slowest rank is the iteration's critical path.
+func runSessions(runWorld func(runtime.RankFunc) error, a *sparse.CSR, part *partition.Partition,
+	pat *spmv.Pattern, x, want []float64, opt spmv.Options, transport string, K, iters int) error {
+	ys := make([][]float64, K)
+	phases := make([]spmv.PhaseTimings, K)
+	return runWorld(func(c runtime.Comm) error {
+		me := c.Rank()
+		sess, err := spmv.NewSession(c, a, part, pat, opt)
+		if err != nil {
+			return err
+		}
+		var prev spmv.PhaseTimings
+		for it := 0; it < iters; it++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			start := time.Now()
+			y, err := sess.Multiply(x)
+			if err != nil {
+				return fmt.Errorf("iteration %d rank %d: %w", it, me, err)
+			}
+			ys[me] = y
+			tm := sess.Timings()
+			phases[me] = spmv.PhaseTimings{
+				Gather:   tm.Gather - prev.Gather,
+				Exchange: tm.Exchange - prev.Exchange,
+				Kernel:   tm.Kernel - prev.Kernel,
+			}
+			prev = tm
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if me == 0 {
+				wall := time.Since(start)
+				rs := time.Now()
+				got, err := spmv.Reduce(part, ys)
+				if err != nil {
+					return err
+				}
+				reduce := time.Since(rs)
+				var maxErr float64
+				for i := range want {
+					if e := math.Abs(got[i] - want[i]); e > maxErr {
+						maxErr = e
+					}
+				}
+				var agg spmv.PhaseTimings
+				for _, p := range phases {
+					if p.Gather > agg.Gather {
+						agg.Gather = p.Gather
+					}
+					if p.Exchange > agg.Exchange {
+						agg.Exchange = p.Exchange
+					}
+					if p.Kernel > agg.Kernel {
+						agg.Kernel = p.Kernel
+					}
+				}
+				label := ""
+				if it == 0 && opt.Method == spmv.STFW {
+					label = " (learning)"
+				}
+				fmt.Printf("iter %d%s: %v wall (%s transport) | max over ranks: gather %v, exchange %v, kernel %v | reduce %v | max |err| = %.2e\n",
+					it, label, wall.Round(time.Microsecond), transport,
+					agg.Gather.Round(time.Microsecond), agg.Exchange.Round(time.Microsecond),
+					agg.Kernel.Round(time.Microsecond), reduce.Round(time.Microsecond), maxErr)
+				if maxErr > 1e-9 {
+					return fmt.Errorf("verification FAILED at iteration %d: max error %g", it, maxErr)
+				}
+			}
+			// Hold every rank until rank 0 has consumed ys: the compiled
+			// sessions overwrite their result buffers on the next multiply.
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }

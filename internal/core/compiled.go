@@ -1,0 +1,471 @@
+// Compiled iteration programs: the second specialization tier above
+// Persistent. A Persistent replay still pays per-call maps, per-frame
+// copies, and a per-value byte codec; Compile turns the learned pattern
+// into a fully indexed program under the assumption that payload *sizes*
+// are fixed across iterations (the iterative-solver case: one float64 per
+// matrix column shipped, every iteration, to the same ranks). The program
+// owns precomputed frame templates and slot offsets, so an iteration is:
+//
+//   - gather: write x[idx] float64s straight into pooled frame buffers at
+//     precomputed offsets (zero-copy view when alignment allows),
+//   - forward: memcpy payload regions from retained inbound frames into
+//     outgoing frames — forwarded bytes are never decoded or re-encoded,
+//   - scatter: copy delivered payload regions straight into the caller's
+//     halo slice at precomputed word offsets.
+//
+// No maps are consulted and nothing is allocated in steady state: frame
+// buffers come from the msg arena and every error path is off the happy
+// path. This is the moral equivalent of MPI_Start on a persistent
+// neighborhood collective built once with MPIX_Neighbor_alltoallv_init.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"stfw/internal/msg"
+	"stfw/internal/runtime"
+)
+
+// Replay is a compiled iteration program for one rank: a fixed schedule of
+// frame builds, sends, receives, and copies. Obtain one from
+// Persistent.Compile (store-and-forward) or NewDirectReplay (baseline).
+// A Replay is bound to the rank and world it was compiled for and is not
+// safe for concurrent use.
+type Replay struct {
+	me, size  int
+	xlen      int // required len(x) in Run
+	haloWords int // required len(halo) in Run
+	selfs     []selfOp
+	stages    []rStage
+	// inFrames retains received frames until the iteration ends: later
+	// stages memcpy forwarded payloads out of them. Entries are recycled
+	// into the frame arena at the end of every Run.
+	inFrames [][]byte
+	pending  []int // scratch for arrival-order receives, reused across runs
+}
+
+// rStage is one communication stage: the frames sent to this stage's
+// neighbors and the receive schedule for the frames arriving from them.
+type rStage struct {
+	tag      int
+	frames   []rFrame
+	recvFrom []int   // expected senders, learning receive order
+	inIdx    []int32 // retention slot per sender (index into inFrames)
+	inSize   []int32 // expected frame byte length per sender
+	inNsubs  []int32 // expected submessage count per sender
+	delivers [][]deliverOp
+}
+
+// rFrame is one outgoing frame: a byte template (header and submessage
+// headers pre-encoded) plus the copy operations that fill its payload
+// regions each iteration.
+type rFrame struct {
+	to      int
+	tmpl    []byte
+	gathers []gatherOp
+	fwds    []fwdOp
+}
+
+// gatherOp writes x[idx[i]] as little-endian float64s at frame offset off.
+type gatherOp struct {
+	off int32
+	idx []int32
+}
+
+// fwdOp copies n payload bytes from retained inbound frame `frame` at
+// srcOff into the outgoing frame at dstOff.
+type fwdOp struct {
+	dstOff, srcOff, n int32
+	frame             int32
+}
+
+// deliverOp copies `words` float64s from an inbound frame at srcOff into
+// halo[haloOff:].
+type deliverOp struct {
+	srcOff, haloOff, words int32
+}
+
+// selfOp scatters this rank's own payload to itself: halo[haloOff+i] =
+// x[idx[i]], no bytes involved.
+type selfOp struct {
+	idx     []int32
+	haloOff int32
+}
+
+type slotLoc struct {
+	frame, off int32
+}
+
+// Compile specializes the learned pattern into a Replay under fixed
+// payload sizes: destination dst's payload is always the float64s
+// x[gather[dst][0]], x[gather[dst][1]], ... read from the x slice passed to
+// Run. gather must cover exactly the learned destinations, and each list's
+// byte size (8 per index) must equal the learning run's payload size for
+// that destination; every payload routed through this rank must be
+// word-sized. The gather lists are retained by the Replay and must not be
+// mutated afterwards.
+//
+// Deliveries are scattered into Run's halo slice in the learned delivery
+// order (sorted by source rank), one contiguous word block per source.
+func (p *Persistent) Compile(xlen int, gather map[int][]int32) (*Replay, error) {
+	me := p.rank
+	if len(gather) != len(p.dests) {
+		return nil, fmt.Errorf("core: compile: %d gather lists for %d learned destinations", len(gather), len(p.dests))
+	}
+	for dst, idx := range gather {
+		if _, ok := p.dests[dst]; !ok {
+			return nil, fmt.Errorf("core: compile: destination %d not in the learned pattern", dst)
+		}
+		want := p.sizes[slotKey{src: int32(me), dst: int32(dst)}]
+		if 8*len(idx) != want {
+			return nil, fmt.Errorf("core: compile: destination %d gathers %d words, learned payload is %d bytes",
+				dst, len(idx), want)
+		}
+		for _, g := range idx {
+			if int(g) < 0 || int(g) >= xlen {
+				return nil, fmt.Errorf("core: compile: gather index %d out of x range [0,%d)", g, xlen)
+			}
+		}
+	}
+
+	r := &Replay{me: me, size: p.topo.Size(), xlen: xlen}
+
+	// Halo layout: one contiguous word block per delivery slot, in the
+	// learned (sorted-by-source) order. Self deliveries come straight from
+	// x; everything else is bound to an inbound frame region below.
+	haloOff := make(map[slotKey]int32, len(p.deliver))
+	bound := make(map[slotKey]bool, len(p.deliver))
+	off := int32(0)
+	for _, k := range p.deliver {
+		n := p.sizes[k]
+		if n%8 != 0 {
+			return nil, fmt.Errorf("core: compile: delivery %d->%d has %d bytes, compiled replays require word-sized payloads", k.src, k.dst, n)
+		}
+		haloOff[k] = off
+		off += int32(n / 8)
+		if k.src == int32(me) {
+			r.selfs = append(r.selfs, selfOp{idx: gather[int(k.dst)], haloOff: haloOff[k]})
+			bound[k] = true
+		}
+	}
+	r.haloWords = int(off)
+
+	inLoc := make(map[slotKey]slotLoc)
+	nextFrame := int32(0)
+	maxNbrs := 0
+	r.stages = make([]rStage, p.topo.N())
+	for d := range r.stages {
+		st := &r.stages[d]
+		st.tag = StageTag(d)
+
+		// Outgoing frames, learning send order, empty frames included.
+		st.frames = make([]rFrame, 0, len(p.nbrFrames[d]))
+		for _, nf := range p.nbrFrames[d] {
+			var slots []slotKey
+			if nf.f != nil {
+				slots = nf.f.slots
+			}
+			f, err := p.compileFrame(me, nf.to, slots, gather, inLoc)
+			if err != nil {
+				return nil, fmt.Errorf("core: compile: stage %d frame to %d: %w", d, nf.to, err)
+			}
+			st.frames = append(st.frames, f)
+		}
+
+		// Inbound frames: register forwarded slots for later stages and
+		// bind deliveries to their frame regions.
+		st.delivers = make([][]deliverOp, len(p.inFrom[d]))
+		for j, from := range p.inFrom[d] {
+			slots := p.inLayout[d][j]
+			st.recvFrom = append(st.recvFrom, from)
+			st.inIdx = append(st.inIdx, nextFrame)
+			st.inNsubs = append(st.inNsubs, int32(len(slots)))
+			fo := int32(msg.MsgHeaderLen)
+			for _, k := range slots {
+				n := int32(p.sizes[k])
+				payloadOff := fo + msg.SubHeaderLen
+				if k.dst == int32(me) {
+					st.delivers[j] = append(st.delivers[j], deliverOp{srcOff: payloadOff, haloOff: haloOff[k], words: n / 8})
+					bound[k] = true
+				} else {
+					inLoc[k] = slotLoc{frame: nextFrame, off: payloadOff}
+				}
+				fo = payloadOff + n
+			}
+			st.inSize = append(st.inSize, fo)
+			nextFrame++
+		}
+		if len(st.recvFrom) > maxNbrs {
+			maxNbrs = len(st.recvFrom)
+		}
+	}
+	for _, k := range p.deliver {
+		if !bound[k] {
+			return nil, fmt.Errorf("core: compile: delivery %d->%d has no inbound frame slot", k.src, k.dst)
+		}
+	}
+	r.inFrames = make([][]byte, nextFrame)
+	r.pending = make([]int, 0, maxNbrs)
+	return r, nil
+}
+
+// compileFrame builds one outgoing frame program: the wire template with
+// header and submessage headers pre-encoded, plus the payload fill ops.
+func (p *Persistent) compileFrame(me, to int, slots []slotKey, gather map[int][]int32, inLoc map[slotKey]slotLoc) (rFrame, error) {
+	size := msg.MsgHeaderLen
+	for _, k := range slots {
+		size += msg.SubHeaderLen + p.sizes[k]
+	}
+	f := rFrame{to: to, tmpl: make([]byte, 0, size)}
+	f.tmpl = binary.LittleEndian.AppendUint32(f.tmpl, uint32(me))
+	f.tmpl = binary.LittleEndian.AppendUint32(f.tmpl, uint32(to))
+	f.tmpl = binary.LittleEndian.AppendUint32(f.tmpl, uint32(len(slots)))
+	for _, k := range slots {
+		n := p.sizes[k]
+		f.tmpl = binary.LittleEndian.AppendUint32(f.tmpl, uint32(k.src))
+		f.tmpl = binary.LittleEndian.AppendUint32(f.tmpl, uint32(k.dst))
+		f.tmpl = binary.LittleEndian.AppendUint32(f.tmpl, uint32(n))
+		payloadOff := int32(len(f.tmpl))
+		f.tmpl = append(f.tmpl, make([]byte, n)...)
+		if k.src == int32(me) {
+			f.gathers = append(f.gathers, gatherOp{off: payloadOff, idx: gather[int(k.dst)]})
+		} else {
+			l, ok := inLoc[k]
+			if !ok {
+				return rFrame{}, fmt.Errorf("forwarded slot %d->%d not received in an earlier stage", k.src, k.dst)
+			}
+			f.fwds = append(f.fwds, fwdOp{dstOff: payloadOff, frame: l.frame, srcOff: l.off, n: int32(n)})
+		}
+	}
+	return f, nil
+}
+
+// NewDirectReplay compiles the baseline (BL) iteration for one rank: one
+// direct frame per destination carrying the float64s x[gather[dst]], and
+// one expected frame from every source in srcWords (mapping source rank to
+// its payload word count). Deliveries land in Run's halo slice sorted by
+// source rank, matching the store-and-forward Replay's halo layout for the
+// same pattern. A self payload is declared via gather[me] only; srcWords
+// must not list the rank itself. Collective with the other ranks' replays,
+// like DirectExchange.
+func NewDirectReplay(me, size, xlen int, gather map[int][]int32, srcWords map[int]int) (*Replay, error) {
+	if me < 0 || me >= size {
+		return nil, fmt.Errorf("core: direct replay rank %d out of range [0,%d)", me, size)
+	}
+	r := &Replay{me: me, size: size, xlen: xlen}
+	dests := make([]int, 0, len(gather))
+	for dst, idx := range gather {
+		if dst < 0 || dst >= size {
+			return nil, fmt.Errorf("core: direct replay destination %d out of range [0,%d)", dst, size)
+		}
+		for _, g := range idx {
+			if int(g) < 0 || int(g) >= xlen {
+				return nil, fmt.Errorf("core: direct replay gather index %d out of x range [0,%d)", g, xlen)
+			}
+		}
+		dests = append(dests, dst)
+	}
+	sort.Ints(dests)
+
+	// Delivery order: sorted source ranks, self included via gather[me].
+	srcs := make([]int, 0, len(srcWords)+1)
+	for src := range srcWords {
+		if src == me {
+			return nil, fmt.Errorf("core: direct replay: self source is declared via gather[%d], not srcWords", me)
+		}
+		if src < 0 || src >= size {
+			return nil, fmt.Errorf("core: direct replay source %d out of range [0,%d)", src, size)
+		}
+		srcs = append(srcs, src)
+	}
+	if _, ok := gather[me]; ok {
+		srcs = append(srcs, me)
+	}
+	sort.Ints(srcs)
+
+	st := rStage{tag: tagBase - 1}
+	haloAt := int32(0)
+	for _, src := range srcs {
+		if src == me {
+			r.selfs = append(r.selfs, selfOp{idx: gather[me], haloOff: haloAt})
+			haloAt += int32(len(gather[me]))
+			continue
+		}
+		words := int32(srcWords[src])
+		st.recvFrom = append(st.recvFrom, src)
+		st.inIdx = append(st.inIdx, int32(len(st.recvFrom)-1))
+		st.inNsubs = append(st.inNsubs, 1)
+		st.inSize = append(st.inSize, int32(msg.MsgHeaderLen+msg.SubHeaderLen)+8*words)
+		st.delivers = append(st.delivers, []deliverOp{{srcOff: msg.MsgHeaderLen + msg.SubHeaderLen, haloOff: haloAt, words: words}})
+		haloAt += words
+	}
+	r.haloWords = int(haloAt)
+
+	for _, dst := range dests {
+		if dst == me {
+			continue // self payload never touches the transport
+		}
+		idx := gather[dst]
+		n := 8 * len(idx)
+		f := rFrame{to: dst, tmpl: make([]byte, 0, msg.MsgHeaderLen+msg.SubHeaderLen+n)}
+		f.tmpl = binary.LittleEndian.AppendUint32(f.tmpl, uint32(me))
+		f.tmpl = binary.LittleEndian.AppendUint32(f.tmpl, uint32(dst))
+		f.tmpl = binary.LittleEndian.AppendUint32(f.tmpl, 1)
+		f.tmpl = binary.LittleEndian.AppendUint32(f.tmpl, uint32(me))
+		f.tmpl = binary.LittleEndian.AppendUint32(f.tmpl, uint32(dst))
+		f.tmpl = binary.LittleEndian.AppendUint32(f.tmpl, uint32(n))
+		f.gathers = append(f.gathers, gatherOp{off: int32(len(f.tmpl)), idx: idx})
+		f.tmpl = append(f.tmpl, make([]byte, n)...)
+		st.frames = append(st.frames, f)
+	}
+	r.stages = []rStage{st}
+	r.inFrames = make([][]byte, len(st.recvFrom))
+	r.pending = make([]int, 0, len(st.recvFrom))
+	return r, nil
+}
+
+// HaloWords returns the number of float64s Run scatters into its halo
+// argument (the sum of all delivered payload word counts, in delivery
+// order).
+func (r *Replay) HaloWords() int { return r.haloWords }
+
+// Run executes one compiled iteration: it builds and sends every learned
+// frame with payload float64s gathered from x, receives this rank's
+// inbound frames in arrival order, and scatters the delivered payloads
+// into halo (which must have exactly HaloWords entries). Collective across
+// the world the program was compiled in; steady-state calls perform no
+// allocation on zero-copy transports.
+func (r *Replay) Run(c runtime.Comm, x []float64, halo []float64) error {
+	if c.Rank() != r.me || c.Size() != r.size {
+		return fmt.Errorf("core: replay bound to rank %d of %d", r.me, r.size)
+	}
+	if len(x) != r.xlen {
+		return fmt.Errorf("core: replay compiled for len(x)=%d, got %d", r.xlen, len(x))
+	}
+	if len(halo) != r.haloWords {
+		return fmt.Errorf("core: replay delivers %d words, halo has %d", r.haloWords, len(halo))
+	}
+	defer r.release()
+
+	for _, s := range r.selfs {
+		dst := halo[s.haloOff : int(s.haloOff)+len(s.idx)]
+		for i, g := range s.idx {
+			dst[i] = x[g]
+		}
+	}
+
+	retains := runtime.SendRetains(c)
+	for si := range r.stages {
+		st := &r.stages[si]
+		for fi := range st.frames {
+			f := &st.frames[fi]
+			buf := msg.GetFrameLen(len(f.tmpl))
+			copy(buf, f.tmpl)
+			for _, g := range f.gathers {
+				gatherFloats(buf[g.off:int(g.off)+8*len(g.idx)], x, g.idx)
+			}
+			for _, fw := range f.fwds {
+				copy(buf[fw.dstOff:fw.dstOff+fw.n], r.inFrames[fw.frame][fw.srcOff:fw.srcOff+fw.n])
+			}
+			err := c.Send(f.to, st.tag, buf)
+			if !retains {
+				msg.PutFrame(buf)
+			}
+			if err != nil {
+				return fmt.Errorf("core: rank %d replay stage %d send to %d: %w", r.me, si, f.to, err)
+			}
+		}
+
+		pending := append(r.pending[:0], st.recvFrom...)
+		for len(pending) > 0 {
+			from, raw, err := runtime.RecvAnyOf(c, st.tag, pending)
+			if err != nil {
+				return fmt.Errorf("core: rank %d replay stage %d recv: %w", r.me, si, err)
+			}
+			j := -1
+			for i, p := range pending {
+				if p == from {
+					pending = append(pending[:i], pending[i+1:]...)
+					break
+				}
+			}
+			for i, p := range st.recvFrom {
+				if p == from {
+					j = i
+					break
+				}
+			}
+			if j < 0 {
+				msg.PutFrame(raw)
+				return fmt.Errorf("core: rank %d replay stage %d: frame from unexpected sender %d", r.me, si, from)
+			}
+			r.inFrames[st.inIdx[j]] = raw
+			if err := checkFrameHeader(raw, from, r.me, st.inSize[j], st.inNsubs[j]); err != nil {
+				return fmt.Errorf("core: rank %d replay stage %d frame from %d: %w", r.me, si, from, err)
+			}
+			for _, dv := range st.delivers[j] {
+				scatterFloats(halo[dv.haloOff:dv.haloOff+dv.words], raw[dv.srcOff:dv.srcOff+8*dv.words])
+			}
+		}
+	}
+	return nil
+}
+
+// release recycles the retained inbound frames into the arena and clears
+// the retention table for the next iteration.
+func (r *Replay) release() {
+	for i, b := range r.inFrames {
+		if b != nil {
+			msg.PutFrame(b)
+			r.inFrames[i] = nil
+		}
+	}
+}
+
+// checkFrameHeader validates the fixed parts of a compiled inbound frame:
+// total length, endpoints, and submessage count. The per-slot layout is
+// trusted — it is pinned by the sender's compiled template.
+func checkFrameHeader(raw []byte, from, to int, size, nsubs int32) error {
+	if int32(len(raw)) != size {
+		return fmt.Errorf("frame has %d bytes, compiled layout expects %d", len(raw), size)
+	}
+	if got := int(binary.LittleEndian.Uint32(raw[0:])); got != from {
+		return fmt.Errorf("frame claims sender %d, transport delivered from %d", got, from)
+	}
+	if got := int(binary.LittleEndian.Uint32(raw[4:])); got != to {
+		return fmt.Errorf("misrouted frame for rank %d", got)
+	}
+	if got := int32(binary.LittleEndian.Uint32(raw[8:])); got != nsubs {
+		return fmt.Errorf("frame carries %d submessages, compiled layout expects %d", got, nsubs)
+	}
+	return nil
+}
+
+// gatherFloats writes x[idx[i]] as little-endian float64s into dst
+// (len(dst) == 8*len(idx)), through a zero-copy view when dst is aligned.
+func gatherFloats(dst []byte, x []float64, idx []int32) {
+	if v, ok := msg.Float64View(dst); ok {
+		for i, g := range idx {
+			v[i] = x[g]
+		}
+		return
+	}
+	for i, g := range idx {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(x[g]))
+	}
+}
+
+// scatterFloats copies little-endian float64 payload bytes into dst
+// (len(src) == 8*len(dst)), through a zero-copy view when src is aligned.
+func scatterFloats(dst []float64, src []byte) {
+	if v, ok := msg.Float64View(src); ok {
+		copy(dst, v)
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+}

@@ -13,11 +13,15 @@ import (
 // communication pattern — the common case in iterative applications, where
 // the same SpMV exchange repeats every iteration. The first (learning) run
 // executes Algorithm 1 normally while recording, per stage, the exact frame
-// layout this rank sends: which neighbors receive a frame and, inside each
-// frame, the ordered (src, dst) submessage slots. Subsequent runs replay
-// the layout with fresh payload bytes, skipping all routing decisions and
-// forward-buffer bookkeeping. This mirrors MPI's persistent (neighborhood)
-// collectives.
+// layout this rank sends and receives: which neighbors exchange a frame
+// and, inside each frame, the ordered (src, dst) submessage slots with
+// their payload sizes. Subsequent runs replay the layout with fresh payload
+// bytes, skipping all routing decisions and forward-buffer bookkeeping.
+// This mirrors MPI's persistent (neighborhood) collectives.
+//
+// Run replays with map-based payloads of possibly varying sizes; Compile
+// specializes further into a Replay whose iteration is fully indexed
+// (fixed sizes, no maps, no steady-state allocation).
 //
 // A Persistent is owned by one rank and is not safe for concurrent use.
 type Persistent struct {
@@ -25,12 +29,33 @@ type Persistent struct {
 	rank int
 	// layout[d] lists the nonempty frames of stage d in send order.
 	layout [][]pFrame
-	// deliver lists the (src) ranks whose payloads end up at this rank, in
-	// the order Exchange returns them (sorted by src, then dst).
+	// nbrFrames[d][j] pairs the j-th dimension-d neighbor (fixed learning
+	// send order) with its learned nonempty frame, nil when the frame to
+	// that neighbor is empty. Precomputed once so replays do not rebuild a
+	// per-stage map on every call.
+	nbrFrames [][]nbrFrame
+	// deliver lists the (src, dst) ranks whose payloads end up at this
+	// rank, in the order Exchange returns them (sorted by src, then dst).
 	deliver []slotKey
 	// dests is the set of destinations the pattern was learned with; replay
-	// payloads must match it exactly.
-	dests map[int]struct{}
+	// payloads must match it exactly. destList is the same set sorted,
+	// cached for Destinations.
+	dests    map[int]struct{}
+	destList []int
+	// sizes records the payload byte length of every slot that passed
+	// through this rank during the learning run (own sends, forwarded
+	// submessages, and deliveries). Compile assumes these sizes hold for
+	// every compiled iteration.
+	sizes map[slotKey]int
+	// inLayout[d][j] lists the slots of the frame received from the j-th
+	// dimension-d neighbor (inFrom[d][j]), in wire order. Compile uses it
+	// to turn receives into precomputed offset copies.
+	inLayout [][][]slotKey
+	// inFrom[d] lists the dimension-d neighbors in learning receive order.
+	inFrom [][]int
+	// store is the legacy replay's payload staging table, hoisted out of
+	// Run so repeated replays reuse one map (cleared, not reallocated).
+	store map[slotKey][]byte
 }
 
 type slotKey struct{ src, dst int32 }
@@ -38,6 +63,11 @@ type slotKey struct{ src, dst int32 }
 type pFrame struct {
 	to    int
 	slots []slotKey
+}
+
+type nbrFrame struct {
+	to int
+	f  *pFrame // nil: send an empty frame to keep receive counts deterministic
 }
 
 // NewPersistent performs the learning run: it executes the exchange for
@@ -49,14 +79,20 @@ func NewPersistent(c runtime.Comm, t *vpt.Topology, payloads map[int][]byte) (*P
 		return nil, nil, fmt.Errorf("core: topology size %d != communicator size %d", t.Size(), c.Size())
 	}
 	p := &Persistent{
-		topo:   t,
-		rank:   me,
-		layout: make([][]pFrame, t.N()),
-		dests:  make(map[int]struct{}, len(payloads)),
+		topo:     t,
+		rank:     me,
+		layout:   make([][]pFrame, t.N()),
+		dests:    make(map[int]struct{}, len(payloads)),
+		sizes:    make(map[slotKey]int, len(payloads)),
+		inLayout: make([][][]slotKey, t.N()),
+		inFrom:   make([][]int, t.N()),
 	}
-	for dst := range payloads {
+	for dst, data := range payloads {
 		p.dests[dst] = struct{}{}
+		p.destList = append(p.destList, dst)
+		p.sizes[slotKey{src: int32(me), dst: int32(dst)}] = len(data)
 	}
+	sort.Ints(p.destList)
 
 	fb := msg.NewForwardBuffers(t.Dims())
 	out := &Delivered{}
@@ -111,7 +147,11 @@ func NewPersistent(c runtime.Comm, t *vpt.Topology, payloads map[int][]byte) (*P
 			if m.From != from || m.To != me {
 				return nil, nil, fmt.Errorf("core: rank %d stage %d: misrouted frame %d->%d from %d", me, d, m.From, m.To, from)
 			}
-			for _, sub := range m.Subs {
+			inSlots := make([]slotKey, len(m.Subs))
+			for i, sub := range m.Subs {
+				k := slotKey{src: int32(sub.Src), dst: int32(sub.Dst)}
+				inSlots[i] = k
+				p.sizes[k] = len(sub.Data)
 				if sub.Dst == me {
 					out.Subs = append(out.Subs, sub)
 					continue
@@ -122,6 +162,8 @@ func NewPersistent(c runtime.Comm, t *vpt.Topology, payloads map[int][]byte) (*P
 				}
 				fb.Put(c2, t.Digit(sub.Dst, c2), sub)
 			}
+			p.inFrom[d] = append(p.inFrom[d], from)
+			p.inLayout[d] = append(p.inLayout[d], inSlots)
 		}
 	}
 	if left := fb.SubCount(); left != 0 {
@@ -131,13 +173,43 @@ func NewPersistent(c runtime.Comm, t *vpt.Topology, payloads map[int][]byte) (*P
 	for _, s := range out.Subs {
 		p.deliver = append(p.deliver, slotKey{src: int32(s.Src), dst: int32(s.Dst)})
 	}
+	p.indexNeighborFrames()
 	return p, out, nil
+}
+
+// indexNeighborFrames builds nbrFrames from the learned layout: per stage,
+// the fixed neighbor send order annotated with the nonempty frame sent to
+// each neighbor (or nil). Replays iterate this slice instead of rebuilding
+// a destination-keyed map per call.
+func (p *Persistent) indexNeighborFrames() {
+	t := p.topo
+	me := p.rank
+	p.nbrFrames = make([][]nbrFrame, t.N())
+	for d := 0; d < t.N(); d++ {
+		myDigit := t.Digit(me, d)
+		row := make([]nbrFrame, 0, t.Dim(d)-1)
+		for x := 0; x < t.Dim(d); x++ {
+			if x == myDigit {
+				continue
+			}
+			nf := nbrFrame{to: t.WithDigit(me, d, x)}
+			for i := range p.layout[d] {
+				if p.layout[d][i].to == nf.to {
+					nf.f = &p.layout[d][i]
+					break
+				}
+			}
+			row = append(row, nf)
+		}
+		p.nbrFrames[d] = row
+	}
 }
 
 // Run replays the learned pattern with new payload bytes. The destination
 // set must equal the learning run's exactly (payload sizes may differ). It
 // is collective: every rank of the original world must call Run the same
-// number of times.
+// number of times. For fixed payload sizes, the compiled Replay (see
+// Compile) iterates strictly faster.
 func (p *Persistent) Run(c runtime.Comm, payloads map[int][]byte) (*Delivered, error) {
 	me := p.rank
 	if c.Rank() != me || c.Size() != p.topo.Size() {
@@ -153,8 +225,14 @@ func (p *Persistent) Run(c runtime.Comm, payloads map[int][]byte) (*Delivered, e
 	}
 
 	// store holds payload bytes by (src, dst): own payloads plus whatever
-	// arrived in earlier stages.
-	store := make(map[slotKey][]byte, len(payloads))
+	// arrived in earlier stages. It persists across replays (cleared, not
+	// reallocated) so steady-state iterations reuse its buckets.
+	if p.store == nil {
+		p.store = make(map[slotKey][]byte, len(payloads))
+	} else {
+		clear(p.store)
+	}
+	store := p.store
 	for dst, data := range payloads {
 		store[slotKey{src: int32(me), dst: int32(dst)}] = data
 	}
@@ -166,19 +244,11 @@ func (p *Persistent) Run(c runtime.Comm, payloads map[int][]byte) (*Delivered, e
 		myDigit := t.Digit(me, d)
 		// Send the learned nonempty frames plus empty frames to the other
 		// dimension-d neighbors (receive counts stay deterministic).
-		nonempty := map[int]*pFrame{}
-		for i := range p.layout[d] {
-			nonempty[p.layout[d][i].to] = &p.layout[d][i]
-		}
-		for x := 0; x < t.Dim(d); x++ {
-			if x == myDigit {
-				continue
-			}
-			to := t.WithDigit(me, d, x)
-			m := msg.Message{From: me, To: to}
-			if f := nonempty[to]; f != nil {
-				m.Subs = make([]msg.Submessage, len(f.slots))
-				for i, k := range f.slots {
+		for _, nf := range p.nbrFrames[d] {
+			m := msg.Message{From: me, To: nf.to}
+			if nf.f != nil {
+				m.Subs = make([]msg.Submessage, len(nf.f.slots))
+				for i, k := range nf.f.slots {
 					data, ok := store[k]
 					if !ok {
 						return nil, fmt.Errorf("core: rank %d stage %d: missing payload %d->%d for learned slot",
@@ -189,8 +259,8 @@ func (p *Persistent) Run(c runtime.Comm, payloads map[int][]byte) (*Delivered, e
 				}
 			}
 			encodeBuf = msg.Encode(encodeBuf[:0], &m)
-			if err := c.Send(to, tag, append([]byte(nil), encodeBuf...)); err != nil {
-				return nil, fmt.Errorf("core: rank %d stage %d send to %d: %w", me, d, to, err)
+			if err := c.Send(nf.to, tag, append([]byte(nil), encodeBuf...)); err != nil {
+				return nil, fmt.Errorf("core: rank %d stage %d send to %d: %w", me, d, nf.to, err)
 			}
 		}
 		for x := 0; x < t.Dim(d); x++ {
@@ -223,12 +293,6 @@ func (p *Persistent) Run(c runtime.Comm, payloads map[int][]byte) (*Delivered, e
 	return out, nil
 }
 
-// Destinations returns the learned destination set, sorted.
-func (p *Persistent) Destinations() []int {
-	out := make([]int, 0, len(p.dests))
-	for d := range p.dests {
-		out = append(out, d)
-	}
-	sort.Ints(out)
-	return out
-}
+// Destinations returns the learned destination set, sorted. The returned
+// slice is cached inside the Persistent and must be treated as read-only.
+func (p *Persistent) Destinations() []int { return p.destList }

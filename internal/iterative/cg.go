@@ -59,13 +59,14 @@ func CG(c runtime.Comm, a *sparse.CSR, part *partition.Partition, pat *spmv.Patt
 	if opt.Tol <= 0 {
 		opt.Tol = 1e-10
 	}
-	me := c.Rank()
-	owned := make([]int, 0, n/part.K+1)
-	for i := 0; i < n; i++ {
-		if int(part.Part[i]) == me {
-			owned = append(owned, i)
-		}
+	// A session reuses the exchange pattern across iterations; under STFW
+	// the store-and-forward frame layout is learned once, then compiled and
+	// replayed. The session also caches the owned-row list.
+	sess, err := spmv.NewSession(c, a, part, pat, opt.Comm)
+	if err != nil {
+		return nil, err
 	}
+	owned := sess.OwnedRows()
 
 	dot := func(u, v []float64) (float64, error) {
 		var local float64
@@ -90,13 +91,6 @@ func CG(c runtime.Comm, a *sparse.CSR, part *partition.Partition, pat *spmv.Patt
 		return &CGResult{X: x, Converged: true}, nil
 	}
 	rs, err := dot(r, r)
-	if err != nil {
-		return nil, err
-	}
-
-	// A session reuses the exchange pattern across iterations; under STFW
-	// the store-and-forward frame layout is learned once and replayed.
-	sess, err := spmv.NewSession(c, a, part, pat, opt.Comm)
 	if err != nil {
 		return nil, err
 	}

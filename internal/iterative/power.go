@@ -47,17 +47,13 @@ func PowerIteration(c runtime.Comm, a *sparse.CSR, part *partition.Partition, pa
 	if opt.Tol <= 0 {
 		opt.Tol = 1e-10
 	}
-	me := c.Rank()
-	var owned []int
-	for i := 0; i < n; i++ {
-		if int(part.Part[i]) == me {
-			owned = append(owned, i)
-		}
-	}
 	sess, err := spmv.NewSession(c, a, part, pat, opt.Comm)
 	if err != nil {
 		return nil, err
 	}
+	// The session caches the owned-row list; the returned slice is
+	// read-only shared state, which the solver only iterates.
+	owned := sess.OwnedRows()
 	dot := func(u, v []float64) (float64, error) {
 		var local float64
 		for _, i := range owned {

@@ -27,6 +27,13 @@ const (
 	subHeaderLen = 12
 )
 
+// Exported aliases for code that computes payload offsets inside a frame
+// without going through Encode/Decode (compiled replay templates).
+const (
+	MsgHeaderLen = msgHeaderLen
+	SubHeaderLen = subHeaderLen
+)
+
 // ErrTruncated reports a frame shorter than its declared contents.
 var ErrTruncated = errors.New("msg: truncated frame")
 

@@ -1,0 +1,48 @@
+package msg
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func TestFloat64ViewRoundTrip(t *testing.T) {
+	if !hostLittleEndian {
+		t.Skip("big-endian host: views are never granted")
+	}
+	vals := []float64{0, 1, -1, math.Pi, math.Inf(1), math.SmallestNonzeroFloat64}
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	v, ok := Float64View(b)
+	if !ok {
+		t.Fatalf("aligned word-sized buffer refused a view")
+	}
+	for i := range vals {
+		if math.Float64bits(v[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("view[%d] = %v, want %v", i, v[i], vals[i])
+		}
+	}
+	// Writes through the view must land in the backing bytes.
+	v[2] = 42.5
+	if got := math.Float64frombits(binary.LittleEndian.Uint64(b[16:])); got != 42.5 {
+		t.Fatalf("write through view not visible in bytes: %v", got)
+	}
+}
+
+func TestFloat64ViewRefusals(t *testing.T) {
+	b := make([]byte, 32)
+	if _, ok := Float64View(b[:12]); ok {
+		t.Fatalf("non-word-multiple length granted a view")
+	}
+	if _, ok := Float64View(b[4:28]); ok {
+		t.Fatalf("misaligned buffer granted a view")
+	}
+	if v, ok := Float64View(nil); !ok || len(v) != 0 {
+		t.Fatalf("empty buffer should view as an empty slice")
+	}
+	if v, ok := Float64View(b[1:1]); !ok || len(v) != 0 {
+		t.Fatalf("zero-length buffer should view as an empty slice regardless of alignment")
+	}
+}

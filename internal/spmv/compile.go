@@ -1,0 +1,120 @@
+package spmv
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"stfw/internal/core"
+	"stfw/internal/partition"
+	"stfw/internal/sparse"
+)
+
+// PhaseTimings accumulates the wall time a session spent in each phase of
+// its multiplies, so regressions are attributable to gather, exchange, or
+// compute.
+type PhaseTimings struct {
+	// Gather is the time spent assembling the local input vector: copying
+	// owned x entries into the compiled local vector, or packing payload
+	// bytes on the uncompiled path.
+	Gather time.Duration
+	// Exchange is the communication phase (BL or STFW).
+	Exchange time.Duration
+	// Kernel is the local multiply; the uncompiled path also counts halo
+	// unpacking here.
+	Kernel time.Duration
+	// Iters is the number of multiplies accumulated.
+	Iters int
+}
+
+// program is one rank's compiled SpMV iteration: the owned CSR rows with
+// column indices remapped to positions in a contiguous local vector laid
+// out as [own-gather | halo], plus the compiled exchange that scatters
+// delivered halo values straight into that vector's tail. Once built, an
+// iteration touches no maps and allocates nothing.
+type program struct {
+	rowIDs []int   // global ids of owned rows, ascending (= Session.ownRows)
+	rp     []int64 // local row pointers, len(rowIDs)+1
+	ci     []int32 // local column positions into xloc, CSR order preserved
+	v      []float64
+
+	// gatherIdx lists the referenced owned columns, ascending; iteration i
+	// of the gather phase sets xloc[i] = x[gatherIdx[i]].
+	gatherIdx []int32
+	nOwn      int
+	haloWords int
+	xloc      []float64 // [own-gather | halo], halo tail filled by the replay
+	y         []float64 // reusable result vector, only owned entries written
+
+	// replay is the compiled exchange. BL sessions build it up front; STFW
+	// sessions leave it nil until the learning multiply has run.
+	replay *core.Replay
+}
+
+// compileProgram remaps the owned rows of a onto the [own | halo] local
+// vector layout. The halo tail is ordered exactly like the compiled
+// exchange's deliveries — source ranks ascending, each source's columns in
+// RecvIdx order — so the replay can scatter into it directly.
+func compileProgram(me int, a *sparse.CSR, part *partition.Partition, pat *Pattern, ownRows []int) (*program, error) {
+	p := &program{rowIDs: ownRows}
+
+	// pos maps a global column to its xloc position; -1 unused, -2 marks a
+	// referenced owned column awaiting its ascending position.
+	pos := make([]int32, a.Cols)
+	for j := range pos {
+		pos[j] = -1
+	}
+	nnz := 0
+	for _, i := range ownRows {
+		cols, _ := a.Row(i)
+		nnz += len(cols)
+		for _, j := range cols {
+			if int(part.Part[j]) == me {
+				pos[j] = -2
+			}
+		}
+	}
+	for j := 0; j < a.Cols; j++ {
+		if pos[j] == -2 {
+			pos[j] = int32(len(p.gatherIdx))
+			p.gatherIdx = append(p.gatherIdx, int32(j))
+		}
+	}
+	p.nOwn = len(p.gatherIdx)
+
+	srcs := make([]int, 0, len(pat.RecvIdx[me]))
+	for src := range pat.RecvIdx[me] {
+		srcs = append(srcs, src)
+	}
+	sort.Ints(srcs)
+	at := int32(p.nOwn)
+	for _, src := range srcs {
+		for _, j := range pat.RecvIdx[me][src] {
+			if pos[j] != -1 {
+				return nil, fmt.Errorf("spmv: rank %d: halo column %d from %d conflicts with local layout", me, j, src)
+			}
+			pos[j] = at
+			at++
+		}
+	}
+	p.haloWords = int(at) - p.nOwn
+
+	p.rp = make([]int64, len(ownRows)+1)
+	p.ci = make([]int32, 0, nnz)
+	p.v = make([]float64, 0, nnz)
+	for r, i := range ownRows {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			lp := pos[j]
+			if lp < 0 {
+				return nil, fmt.Errorf("spmv: rank %d: column %d of row %d is neither owned nor in the halo pattern", me, j, i)
+			}
+			p.ci = append(p.ci, lp)
+			p.v = append(p.v, vals[k])
+		}
+		p.rp[r+1] = int64(len(p.ci))
+	}
+	p.xloc = make([]float64, at)
+	p.y = make([]float64, a.Rows)
+	return p, nil
+}

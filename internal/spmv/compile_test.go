@@ -1,0 +1,246 @@
+package spmv
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"stfw/internal/partition"
+	"stfw/internal/runtime"
+	"stfw/internal/sparse"
+	"stfw/internal/transport/chanpt"
+	"stfw/internal/vpt"
+)
+
+// diffConfig is one compiled-vs-seed differential configuration.
+type diffConfig struct {
+	name string
+	opt  Options
+	K    int
+}
+
+// runDifferential drives an uncompiled (seed) session and a compiled
+// session side by side on the same world for three rounds and requires
+// bit-identical owned results every round.
+func runDifferential(t *testing.T, a *sparse.CSR, part *partition.Partition, cfg diffConfig) {
+	t.Helper()
+	pat, err := BuildPattern(a, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([][]float64, 3)
+	for r := range xs {
+		xs[r] = testVector(a.Cols, int64(500+r))
+	}
+	w, err := chanpt.NewWorld(cfg.K, cfg.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c runtime.Comm) error {
+		seedOpt := cfg.opt
+		seedOpt.Uncompiled = true
+		seed, err := NewSession(c, a, part, pat, seedOpt)
+		if err != nil {
+			return err
+		}
+		comp, err := NewSession(c, a, part, pat, cfg.opt)
+		if err != nil {
+			return err
+		}
+		for r, x := range xs {
+			// Seed first, compiled second: two distinct collective calls
+			// per round, same input.
+			ys, err := seed.Multiply(x)
+			if err != nil {
+				return fmt.Errorf("seed round %d: %w", r, err)
+			}
+			yc, err := comp.Multiply(x)
+			if err != nil {
+				return fmt.Errorf("compiled round %d: %w", r, err)
+			}
+			for _, i := range comp.OwnedRows() {
+				if math.Float64bits(ys[i]) != math.Float64bits(yc[i]) {
+					return fmt.Errorf("round %d row %d: compiled %v != seed %v (rank %d)",
+						r, i, yc[i], ys[i], c.Rank())
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", cfg.name, err)
+	}
+}
+
+// TestCompiledMatchesSeedBitIdentical covers BL and STFW across K ∈
+// {8, 16, 64} balanced topologies and a non-power-of-two factored T2(3,4).
+func TestCompiledMatchesSeedBitIdentical(t *testing.T) {
+	a := testMatrix(t, 640, 6400, 60)
+	for _, K := range []int{8, 16, 64} {
+		part, err := partition.Greedy(a, K, partition.DefaultGreedy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dim := 3
+		if K == 16 {
+			dim = 4
+		}
+		tp, err := vpt.NewBalanced(K, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runDifferential(t, a, part, diffConfig{name: fmt.Sprintf("BL/K=%d", K), opt: Options{Method: BL}, K: K})
+		runDifferential(t, a, part, diffConfig{name: fmt.Sprintf("STFW/K=%d", K), opt: Options{Method: STFW, Topo: tp}, K: K})
+	}
+	// Non-power-of-two factored topology: K = 12 = 3*4.
+	part, err := partition.Greedy(a, 12, partition.DefaultGreedy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDifferential(t, a, part, diffConfig{name: "STFW/K=12(3x4)", opt: Options{Method: STFW, Topo: vpt.MustNew(3, 4)}, K: 12})
+	runDifferential(t, a, part, diffConfig{name: "BL/K=12", opt: Options{Method: BL}, K: 12})
+}
+
+// TestCompiledEmptyHaloRank isolates rank 0 on a diagonal block so it
+// neither sends nor receives halo values, and checks both paths still
+// agree (the compiled session must handle zero-length gather, halo, and
+// frame schedules).
+func TestCompiledEmptyHaloRank(t *testing.T) {
+	const n, K = 64, 4
+	blk := n / K
+	var ts []sparse.Triple
+	for i := 0; i < n; i++ {
+		ts = append(ts, sparse.Triple{Row: i, Col: i, Val: float64(i%7) + 0.5})
+		if i >= blk { // off-diagonal coupling only outside rank 0's block
+			j := blk + (i+5)%(n-blk)
+			if j != i {
+				ts = append(ts, sparse.Triple{Row: i, Col: j, Val: 1.25})
+			}
+		}
+	}
+	a, err := sparse.FromTriples(n, n, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.Block(n, K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := BuildPattern(a, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pat.SendIdx[0]) != 0 || len(pat.RecvIdx[0]) != 0 {
+		t.Fatalf("construction broken: rank 0 has halo traffic: send %v recv %v", pat.SendIdx[0], pat.RecvIdx[0])
+	}
+	tp, _ := vpt.NewBalanced(K, 2)
+	runDifferential(t, a, part, diffConfig{name: "BL/empty-halo", opt: Options{Method: BL}, K: K})
+	runDifferential(t, a, part, diffConfig{name: "STFW/empty-halo", opt: Options{Method: STFW, Topo: tp}, K: K})
+}
+
+// allocWorld runs one persistent goroutine per rank so AllocsPerRun can
+// step all ranks through Multiply without spawning goroutines (goroutine
+// startup allocates) inside the measured region.
+type allocWorld struct {
+	step []chan []float64
+	done []chan error
+}
+
+func startAllocWorld(t *testing.T, a *sparse.CSR, part *partition.Partition, pat *Pattern, opt Options, K int) *allocWorld {
+	t.Helper()
+	w, err := chanpt.NewWorld(K, K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw := &allocWorld{step: make([]chan []float64, K), done: make([]chan error, K)}
+	comms := w.Comms()
+	for r := 0; r < K; r++ {
+		aw.step[r] = make(chan []float64)
+		aw.done[r] = make(chan error)
+		go func(c runtime.Comm, step chan []float64, done chan error) {
+			sess, err := NewSession(c, a, part, pat, opt)
+			if err != nil {
+				for range step {
+					done <- err
+				}
+				return
+			}
+			for x := range step {
+				_, err := sess.Multiply(x)
+				done <- err
+			}
+		}(comms[r], aw.step[r], aw.done[r])
+	}
+	return aw
+}
+
+func (aw *allocWorld) multiply(x []float64) error {
+	for _, ch := range aw.step {
+		ch <- x
+	}
+	var first error
+	for _, ch := range aw.done {
+		if err := <-ch; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (aw *allocWorld) stop() {
+	for _, ch := range aw.step {
+		close(ch)
+	}
+}
+
+// TestSessionMultiplyZeroAlloc gates the headline claim: a steady-state
+// compiled Multiply allocates nothing on the chanpt transport, under both
+// BL and STFW.
+func TestSessionMultiplyZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; the gate runs in the non-race CI job")
+	}
+	const K = 8
+	a := testMatrix(t, 400, 3600, 50)
+	part, err := partition.Greedy(a, K, partition.DefaultGreedy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := BuildPattern(a, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, _ := vpt.NewBalanced(K, 3)
+	x := testVector(a.Cols, 42)
+	for _, cfg := range []struct {
+		name string
+		opt  Options
+	}{
+		{"BL", Options{Method: BL}},
+		{"STFW", Options{Method: STFW, Topo: tp}},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			aw := startAllocWorld(t, a, part, pat, cfg.opt, K)
+			defer aw.stop()
+			// Learning iteration (STFW) plus warmup to fill the frame arena
+			// and the transport's high-water marks.
+			for i := 0; i < 5; i++ {
+				if err := aw.multiply(x); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var stepErr error
+			avg := testing.AllocsPerRun(20, func() {
+				if err := aw.multiply(x); err != nil && stepErr == nil {
+					stepErr = err
+				}
+			})
+			if stepErr != nil {
+				t.Fatal(stepErr)
+			}
+			if avg != 0 {
+				t.Fatalf("steady-state Session.Multiply allocates %.2f times per op across %d ranks, want 0", avg, K)
+			}
+		})
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package spmv
+
+const raceEnabled = false

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"stfw/internal/core"
 	"stfw/internal/partition"
@@ -13,11 +14,21 @@ import (
 )
 
 // Session is a per-rank handle for repeated SpMV with the same matrix,
-// partition and communication pattern — the iterative-solver case. Under
-// STFW it learns the store-and-forward frame layout on the first multiply
-// and replays it afterwards (core.Persistent); under BL it caches the
-// receive list. Create one Session per rank inside the rank function and
-// reuse it across iterations.
+// partition and communication pattern — the iterative-solver case.
+//
+// By default a session compiles itself into a fully indexed iteration
+// program: the owned CSR rows are remapped once onto a contiguous
+// [own | halo] local vector, and the exchange is a core.Replay that
+// gathers payload floats straight from x and scatters deliveries straight
+// into the halo tail. A steady-state Multiply then performs no map
+// lookups and no allocations. Under STFW the first multiply is the
+// learning run (it executes the seed path and compiles the learned
+// layout); under BL the exchange compiles at session creation. Setting
+// Options.Uncompiled keeps the original map-based path on every call —
+// the two produce bit-identical results.
+//
+// Create one Session per rank inside the rank function and reuse it
+// across iterations.
 type Session struct {
 	c    runtime.Comm
 	a    *sparse.CSR
@@ -25,9 +36,11 @@ type Session struct {
 	pat  *Pattern
 	opt  Options
 
-	recvFrom []int            // BL: cached receive sources
+	recvFrom []int            // BL seed path: cached receive sources
 	persist  *core.Persistent // STFW: learned pattern, nil until first multiply
-	ownRows  []int            // rows this rank owns
+	ownRows  []int            // rows this rank owns, ascending
+	prog     *program         // compiled iteration, nil when opt.Uncompiled
+	tm       PhaseTimings
 }
 
 // NewSession validates the configuration and prepares the per-rank state.
@@ -55,17 +68,98 @@ func NewSession(c runtime.Comm, a *sparse.CSR, part *partition.Partition, pat *P
 			s.ownRows = append(s.ownRows, i)
 		}
 	}
+	if !opt.Uncompiled {
+		prog, err := compileProgram(me, a, part, pat, s.ownRows)
+		if err != nil {
+			return nil, err
+		}
+		s.prog = prog
+		if opt.Method == BL {
+			srcWords := make(map[int]int, len(pat.RecvIdx[me]))
+			for src, lst := range pat.RecvIdx[me] {
+				srcWords[src] = len(lst)
+			}
+			r, err := core.NewDirectReplay(me, c.Size(), a.Cols, pat.SendIdx[me], srcWords)
+			if err != nil {
+				return nil, err
+			}
+			if r.HaloWords() != prog.haloWords {
+				return nil, fmt.Errorf("spmv: rank %d: exchange delivers %d halo words, kernel expects %d",
+					me, r.HaloWords(), prog.haloWords)
+			}
+			prog.replay = r
+		}
+	}
 	return s, nil
 }
 
 // Multiply computes y = A*x for this rank's owned rows (other entries of
 // the returned vector are zero). Collective across all ranks that share the
 // session configuration.
+//
+// On the compiled path the returned slice is owned by the session and
+// overwritten by the next Multiply; copy it to keep it across iterations.
 func (s *Session) Multiply(x []float64) ([]float64, error) {
-	me := s.c.Rank()
 	if len(x) != s.a.Cols {
 		return nil, fmt.Errorf("spmv: x length %d != cols %d", len(x), s.a.Cols)
 	}
+	if s.prog == nil {
+		return s.multiplySeed(x)
+	}
+	if s.prog.replay == nil {
+		// STFW learning iteration: run the seed path (which performs the
+		// learning exchange), then compile its layout for every later call.
+		y, err := s.multiplySeed(x)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.persist.Compile(s.a.Cols, s.pat.SendIdx[s.c.Rank()])
+		if err != nil {
+			return nil, err
+		}
+		if r.HaloWords() != s.prog.haloWords {
+			return nil, fmt.Errorf("spmv: rank %d: exchange delivers %d halo words, kernel expects %d",
+				s.c.Rank(), r.HaloWords(), s.prog.haloWords)
+		}
+		s.prog.replay = r
+		return y, nil
+	}
+	return s.multiplyCompiled(x)
+}
+
+// multiplyCompiled is the steady-state hot loop: gather, replay, straight
+// CSR walk. No maps, no allocation.
+func (s *Session) multiplyCompiled(x []float64) ([]float64, error) {
+	p := s.prog
+	t0 := time.Now()
+	for i, g := range p.gatherIdx {
+		p.xloc[i] = x[g]
+	}
+	t1 := time.Now()
+	if err := p.replay.Run(s.c, x, p.xloc[p.nOwn:]); err != nil {
+		return nil, err
+	}
+	t2 := time.Now()
+	for r := range p.rowIDs {
+		var sum float64
+		for k := p.rp[r]; k < p.rp[r+1]; k++ {
+			sum += p.v[k] * p.xloc[p.ci[k]]
+		}
+		p.y[p.rowIDs[r]] = sum
+	}
+	t3 := time.Now()
+	s.tm.Gather += t1.Sub(t0)
+	s.tm.Exchange += t2.Sub(t1)
+	s.tm.Kernel += t3.Sub(t2)
+	s.tm.Iters++
+	return p.y, nil
+}
+
+// multiplySeed is the original map-based path, kept as the differential
+// baseline (Options.Uncompiled) and as the STFW learning iteration.
+func (s *Session) multiplySeed(x []float64) ([]float64, error) {
+	me := s.c.Rank()
+	t0 := time.Now()
 	payloads := make(map[int][]byte, len(s.pat.SendIdx[me]))
 	for dst, lst := range s.pat.SendIdx[me] {
 		buf := make([]byte, 0, 8*len(lst))
@@ -74,6 +168,7 @@ func (s *Session) Multiply(x []float64) ([]float64, error) {
 		}
 		payloads[dst] = buf
 	}
+	t1 := time.Now()
 
 	var delivered *core.Delivered
 	var err error
@@ -88,6 +183,7 @@ func (s *Session) Multiply(x []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	t2 := time.Now()
 
 	halo, err := unpackHalo(me, s.pat, delivered)
 	if err != nil {
@@ -106,8 +202,18 @@ func (s *Session) Multiply(x []float64) ([]float64, error) {
 		}
 		y[i] = sum
 	}
+	t3 := time.Now()
+	s.tm.Gather += t1.Sub(t0)
+	s.tm.Exchange += t2.Sub(t1)
+	s.tm.Kernel += t3.Sub(t2)
+	s.tm.Iters++
 	return y, nil
 }
 
-// OwnedRows returns the rows this rank computes.
-func (s *Session) OwnedRows() []int { return append([]int(nil), s.ownRows...) }
+// OwnedRows returns the rows this rank computes, ascending. The returned
+// slice is cached inside the session and must be treated as read-only.
+func (s *Session) OwnedRows() []int { return s.ownRows }
+
+// Timings returns the accumulated per-phase wall time of this session's
+// multiplies.
+func (s *Session) Timings() PhaseTimings { return s.tm }

@@ -52,7 +52,9 @@ func TestSessionRepeatedMultiplies(t *testing.T) {
 				if err != nil {
 					return fmt.Errorf("round %d: %w", r, err)
 				}
-				got[r][c.Rank()] = y
+				// The compiled session reuses its result buffer across
+				// multiplies; keep a copy per round.
+				got[r][c.Rank()] = append([]float64(nil), y...)
 			}
 			return nil
 		})

@@ -133,6 +133,11 @@ type Options struct {
 	Method Method
 	// Topo is the VPT used when Method == STFW; ignored for BL.
 	Topo *vpt.Topology
+	// Uncompiled keeps the original map-based iteration (per-call payload
+	// maps, byte codec, halo map) instead of compiling the session into an
+	// indexed program. The two paths are bit-identical; Uncompiled exists
+	// as the differential baseline and for benchmarking the compile win.
+	Uncompiled bool
 }
 
 // Run executes one distributed SpMV y = A*x over the communicator: the

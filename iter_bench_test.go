@@ -1,0 +1,266 @@
+package stfw
+
+// BenchmarkSessionIteration measures one steady-state iteration of the
+// iterative-solver hot loop — every rank performs one Session.Multiply —
+// comparing the compiled session (indexed program, zero steady-state
+// allocation) against the seed map-based path on the paper's two
+// communication shapes: a hot-spot instance (gupta2) and a power-law
+// instance (coAuthorsDBLP), at K ∈ {64, 256, 1024}.
+//
+// TestWriteIterBenchJSON renders the same measurements into BENCH_iter.json
+// when BENCH_ITER_JSON names an output path (BENCH_ITER_MAXK optionally
+// caps K, e.g. for CI smoke runs).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"stfw/internal/partition"
+	"stfw/internal/runtime"
+	"stfw/internal/sparse"
+	"stfw/internal/spmv"
+	"stfw/internal/transport/chanpt"
+	"stfw/internal/vpt"
+)
+
+type iterBenchCase struct {
+	matrix string
+	scale  int
+	K, dim int
+}
+
+func iterBenchCases() []iterBenchCase {
+	var out []iterBenchCase
+	for _, kd := range []struct{ K, dim int }{{64, 3}, {256, 4}, {1024, 5}} {
+		out = append(out,
+			iterBenchCase{matrix: "gupta2", scale: 8, K: kd.K, dim: kd.dim},
+			iterBenchCase{matrix: "coAuthorsDBLP", scale: 8, K: kd.K, dim: kd.dim},
+		)
+	}
+	return out
+}
+
+// iterBenchSetup is the shared per-(matrix, K) state, built once and reused
+// by the compiled and seed variants.
+type iterBenchSetup struct {
+	a    *sparse.CSR
+	part *partition.Partition
+	pat  *spmv.Pattern
+	topo *vpt.Topology
+	x    []float64
+}
+
+var iterBenchSetups = map[string]*iterBenchSetup{}
+
+func getIterBenchSetup(tb testing.TB, c iterBenchCase) *iterBenchSetup {
+	tb.Helper()
+	key := fmt.Sprintf("%s/%d/%d", c.matrix, c.scale, c.K)
+	if s, ok := iterBenchSetups[key]; ok {
+		return s
+	}
+	a, err := sparse.CatalogMatrix(c.matrix, c.scale)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	part, err := partition.Greedy(a, c.K, partition.DefaultGreedy())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pat, err := spmv.BuildPattern(a, part)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	topo, err := vpt.NewBalanced(c.K, c.dim)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	s := &iterBenchSetup{a: a, part: part, pat: pat, topo: topo, x: x}
+	iterBenchSetups[key] = s
+	return s
+}
+
+// iterBenchWorld keeps one goroutine per rank alive across benchmark
+// iterations so one "op" is a pure lockstep multiply with no goroutine
+// startup in the measured region.
+type iterBenchWorld struct {
+	step []chan []float64
+	done []chan error
+}
+
+func startIterBenchWorld(tb testing.TB, s *iterBenchSetup, opt spmv.Options, K int) *iterBenchWorld {
+	tb.Helper()
+	w, err := chanpt.NewWorld(K, K)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	bw := &iterBenchWorld{step: make([]chan []float64, K), done: make([]chan error, K)}
+	comms := w.Comms()
+	for r := 0; r < K; r++ {
+		bw.step[r] = make(chan []float64)
+		bw.done[r] = make(chan error)
+		go func(c runtime.Comm, step chan []float64, done chan error) {
+			sess, err := spmv.NewSession(c, s.a, s.part, s.pat, opt)
+			if err != nil {
+				for range step {
+					done <- err
+				}
+				return
+			}
+			for x := range step {
+				_, err := sess.Multiply(x)
+				done <- err
+			}
+		}(comms[r], bw.step[r], bw.done[r])
+	}
+	return bw
+}
+
+func (bw *iterBenchWorld) multiply(x []float64) error {
+	for _, ch := range bw.step {
+		ch <- x
+	}
+	var first error
+	for _, ch := range bw.done {
+		if err := <-ch; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (bw *iterBenchWorld) stop() {
+	for _, ch := range bw.step {
+		close(ch)
+	}
+}
+
+// benchSessionVariant is the measured body shared by the benchmark and the
+// JSON writer: steady-state lockstep multiplies over a warm world.
+func benchSessionVariant(b *testing.B, s *iterBenchSetup, opt spmv.Options, K int) {
+	bw := startIterBenchWorld(b, s, opt, K)
+	defer bw.stop()
+	// Learning iteration (STFW) plus warmup of pools and matcher queues.
+	for i := 0; i < 2; i++ {
+		if err := bw.multiply(s.x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bw.multiply(s.x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func iterBenchOptions(s *iterBenchSetup, uncompiled bool) spmv.Options {
+	return spmv.Options{Method: spmv.STFW, Topo: s.topo, Uncompiled: uncompiled}
+}
+
+func BenchmarkSessionIteration(b *testing.B) {
+	for _, c := range iterBenchCases() {
+		s := getIterBenchSetup(b, c)
+		for _, variant := range []string{"compiled", "seed"} {
+			b.Run(fmt.Sprintf("%s/K=%d/%s", c.matrix, c.K, variant), func(b *testing.B) {
+				benchSessionVariant(b, s, iterBenchOptions(s, variant == "seed"), c.K)
+			})
+		}
+	}
+}
+
+// iterBenchResult is one BENCH_iter.json entry.
+type iterBenchResult struct {
+	Matrix      string  `json:"matrix"`
+	K           int     `json:"k"`
+	Variant     string  `json:"variant"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type iterBenchReport struct {
+	// Note describes what one op is, so the numbers are interpretable
+	// without reading the harness.
+	Note    string            `json:"note"`
+	Results []iterBenchResult `json:"results"`
+	// SpeedupCompiled maps "matrix/K=n" to seed ns_per_op divided by
+	// compiled ns_per_op.
+	SpeedupCompiled map[string]float64 `json:"speedup_compiled"`
+}
+
+// TestWriteIterBenchJSON measures every BenchmarkSessionIteration case via
+// testing.Benchmark and writes BENCH_iter.json. Enabled by setting
+// BENCH_ITER_JSON to the output path; BENCH_ITER_MAXK caps the rank counts
+// (CI uses 256 to keep the smoke step fast).
+func TestWriteIterBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_ITER_JSON")
+	if path == "" {
+		t.Skip("BENCH_ITER_JSON not set")
+	}
+	maxK := 1 << 30
+	if v := os.Getenv("BENCH_ITER_MAXK"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("BENCH_ITER_MAXK: %v", err)
+		}
+		maxK = n
+	}
+	report := iterBenchReport{
+		Note:            "one op = all K ranks perform one steady-state Session.Multiply over STFW on the chanpt transport; allocs_per_op counts the whole world",
+		SpeedupCompiled: map[string]float64{},
+	}
+	type pair struct{ compiled, seed float64 }
+	pairs := map[string]*pair{}
+	for _, c := range iterBenchCases() {
+		if c.K > maxK {
+			continue
+		}
+		s := getIterBenchSetup(t, c)
+		for _, variant := range []string{"compiled", "seed"} {
+			opt := iterBenchOptions(s, variant == "seed")
+			r := testing.Benchmark(func(b *testing.B) {
+				benchSessionVariant(b, s, opt, c.K)
+			})
+			nsOp := float64(r.T.Nanoseconds()) / float64(r.N)
+			report.Results = append(report.Results, iterBenchResult{
+				Matrix:      c.matrix,
+				K:           c.K,
+				Variant:     variant,
+				NsPerOp:     nsOp,
+				AllocsPerOp: r.AllocsPerOp(),
+			})
+			key := fmt.Sprintf("%s/K=%d", c.matrix, c.K)
+			if pairs[key] == nil {
+				pairs[key] = &pair{}
+			}
+			if variant == "compiled" {
+				pairs[key].compiled = nsOp
+			} else {
+				pairs[key].seed = nsOp
+			}
+			t.Logf("%s/%s: %.0f ns/op, %d allocs/op (N=%d)", key, variant, nsOp, r.AllocsPerOp(), r.N)
+		}
+	}
+	for key, p := range pairs {
+		if p.compiled > 0 {
+			report.SpeedupCompiled[key] = p.seed / p.compiled
+		}
+	}
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}
