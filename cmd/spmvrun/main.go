@@ -24,30 +24,67 @@ import (
 	"stfw/internal/runtime"
 	"stfw/internal/sparse"
 	"stfw/internal/spmv"
+	"stfw/internal/telemetry"
 	"stfw/internal/trace"
 	"stfw/internal/transport/chanpt"
 	"stfw/internal/transport/tcpnet"
 	"stfw/internal/vpt"
 )
 
+// config carries every CLI knob of one spmvrun invocation.
+type config struct {
+	matrix     string
+	k          int
+	dim        int
+	scale      int
+	method     string
+	transport  string
+	iters      int
+	doTrace    bool // plan-conformance recording (internal/trace)
+	telemetry  bool // live counters + span timelines (internal/telemetry)
+	traceOut   string
+	debugAddr  string
+	cpuProfile string
+	memProfile string
+}
+
 func main() {
-	matrix := flag.String("matrix", "sparsine", "catalog matrix name")
-	k := flag.Int("k", 64, "number of ranks (power of two)")
-	dim := flag.Int("dim", 3, "VPT dimension for STFW")
-	scale := flag.Int("scale", 16, "matrix shrink factor")
-	method := flag.String("method", "stfw", "exchange method: bl or stfw")
-	transport := flag.String("transport", "chan", "transport: chan or tcp")
-	iters := flag.Int("iters", 3, "SpMV iterations")
-	doTrace := flag.Bool("trace", false, "record the exchange, verify it against the plan, print the per-stage timeline")
+	var cfg config
+	flag.StringVar(&cfg.matrix, "matrix", "sparsine", "catalog matrix name")
+	flag.IntVar(&cfg.k, "k", 64, "number of ranks (power of two)")
+	flag.IntVar(&cfg.dim, "dim", 3, "VPT dimension for STFW")
+	flag.IntVar(&cfg.scale, "scale", 16, "matrix shrink factor")
+	flag.StringVar(&cfg.method, "method", "stfw", "exchange method: bl or stfw")
+	flag.StringVar(&cfg.transport, "transport", "chan", "transport: chan or tcp")
+	flag.IntVar(&cfg.iters, "iters", 3, "SpMV iterations")
+	flag.BoolVar(&cfg.doTrace, "trace", false, "record the exchange, verify it against the plan, print the per-stage timeline")
+	flag.BoolVar(&cfg.telemetry, "telemetry", false, "collect live per-rank stage timelines and hot-path counters")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write a Chrome trace-event JSON of the run (implies -telemetry; open in ui.perfetto.dev)")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /debug (expvar, pprof, telemetry) on this address, e.g. 127.0.0.1:8642")
+	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
-	if err := run(*matrix, *k, *dim, *scale, *method, *transport, *iters, *doTrace); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "spmvrun: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(matrix string, K, dim, scale int, method, transport string, iters int, doTrace bool) error {
+func run(cfg config) error {
+	matrix, K, dim, scale := cfg.matrix, cfg.k, cfg.dim, cfg.scale
+	method, transport, iters, doTrace := cfg.method, cfg.transport, cfg.iters, cfg.doTrace
+
+	stopProfiles, err := telemetry.StartProfiles(cfg.cpuProfile, cfg.memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "spmvrun: %v\n", err)
+		}
+	}()
+
 	fmt.Printf("generating %s (scale %d)...\n", matrix, scale)
 	a, err := sparse.CatalogMatrix(matrix, scale)
 	if err != nil {
@@ -72,12 +109,14 @@ func run(matrix string, K, dim, scale int, method, transport string, iters int, 
 
 	opt := spmv.Options{Method: spmv.BL}
 	var plan *core.Plan
+	stages := 1
 	if method == "stfw" {
 		tp, err := vpt.NewBalanced(K, dim)
 		if err != nil {
 			return err
 		}
 		opt = spmv.Options{Method: spmv.STFW, Topo: tp}
+		stages = tp.N()
 		fmt.Printf("topology: %s, message bound %d (BL bound %d)\n",
 			tp, core.MaxMessageBound(tp), K-1)
 		plan, err = core.BuildPlan(tp, sends)
@@ -89,6 +128,25 @@ func run(matrix string, K, dim, scale int, method, transport string, iters int, 
 		if err != nil {
 			return err
 		}
+	}
+
+	// Live telemetry: one collector per rank; -trace-out and -debug-addr
+	// imply collection.
+	var reg *telemetry.Registry
+	if cfg.telemetry || cfg.traceOut != "" || cfg.debugAddr != "" {
+		reg, err = telemetry.New(telemetry.Config{Ranks: K, Stages: stages})
+		if err != nil {
+			return err
+		}
+		opt.Telemetry = reg
+	}
+	if cfg.debugAddr != "" {
+		ds, err := reg.ServeDebug(cfg.debugAddr)
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		fmt.Printf("debug endpoint: http://%s/debug/\n", ds.Addr)
 	}
 	sum, err := metrics.Summarize(method, plan, sends)
 	if err != nil {
@@ -135,6 +193,9 @@ func run(matrix string, K, dim, scale int, method, transport string, iters int, 
 				comms[i] = recorder.Wrap(c)
 			}
 		}
+		reg.WrapComms(comms, func(tag int) (int, bool) {
+			return core.TagStage(tag, stages)
+		})
 		return runtime.Run(comms, fn)
 	}
 
@@ -146,7 +207,7 @@ func run(matrix string, K, dim, scale int, method, transport string, iters int, 
 			return err
 		}
 		fmt.Println("verified: parallel result matches serial multiply")
-		return nil
+		return finishTelemetry(reg, cfg.traceOut)
 	}
 
 	for it := 0; it < iters; it++ {
@@ -195,6 +256,27 @@ func run(matrix string, K, dim, scale int, method, transport string, iters int, 
 		}
 	}
 	fmt.Println("verified: parallel result matches serial multiply")
+	return finishTelemetry(reg, cfg.traceOut)
+}
+
+// finishTelemetry reports the collected run: the counter totals and
+// histograms on stdout, and the Perfetto trace when a path was given.
+// No-op when telemetry was off.
+func finishTelemetry(reg *telemetry.Registry, traceOut string) error {
+	if reg == nil {
+		return nil
+	}
+	s := reg.Snapshot()
+	tot := s.Totals()
+	fmt.Printf("\ntelemetry: %d frames / %d bytes sent, %d submessages forwarded (%d bytes)\n",
+		tot.Sends, tot.SendBytes, tot.Forwards, tot.FwdBytes)
+	reg.WriteHistograms(os.Stdout)
+	if traceOut != "" {
+		if err := reg.WriteTraceFile(traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", traceOut)
+	}
 	return nil
 }
 

@@ -6,11 +6,20 @@
 //
 // Usage:
 //
-//	stfwbench -exp table1|fig1|table2|fig6|fig7|fig8|fig9|table3|fig10|partitioners|skew|mapping|stencil|all [-scale N]
+//	stfwbench -exp table1|fig1|table2|fig6|fig7|fig8|fig9|table3|fig10|partitioners|skew|mapping|stencil|live|all [-scale N]
 //
 // -scale shrinks the catalog matrices (sparse.ScaleParams semantics);
 // scale 1 is full size. The default of 8 preserves every regime the paper
 // studies while keeping the full sweep fast on a laptop.
+//
+// The "live" experiment is the observability counterpart of the model-based
+// sweep: it executes a real K=64 STFW exchange in-process with the
+// telemetry layer attached and reports what actually happened (frame
+// counters, stage-latency histograms, and optionally a Perfetto trace via
+// -trace-out). -telemetry additionally attaches collection to any
+// experiment run; -debug-addr serves /debug (expvar, pprof, live trace)
+// while the sweep executes; -cpuprofile/-memprofile write runtime/pprof
+// profiles of the whole invocation.
 package main
 
 import (
@@ -20,21 +29,58 @@ import (
 	"time"
 
 	"stfw/internal/experiments"
+	"stfw/internal/telemetry"
 )
 
+// benchConfig is the CLI configuration: the experiment parameters plus the
+// observability knobs.
+type benchConfig struct {
+	experiments.Config
+	telemetry  bool
+	traceOut   string
+	debugAddr  string
+	cpuProfile string
+	memProfile string
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, fig1, table2, fig6, fig7, fig8, fig9, table3, fig10, partitioners, skew, mapping, stencil, all")
-	scale := flag.Int("scale", 8, "matrix shrink factor (1 = full-size structures)")
+	var cfg benchConfig
+	exp := flag.String("exp", "all", "experiment to run: table1, fig1, table2, fig6, fig7, fig8, fig9, table3, fig10, partitioners, skew, mapping, stencil, live, all")
+	flag.IntVar(&cfg.Scale, "scale", 8, "matrix shrink factor (1 = full-size structures)")
+	flag.BoolVar(&cfg.telemetry, "telemetry", false, "collect live telemetry (implied by -exp live)")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write a Chrome trace-event JSON of the live run (open in ui.perfetto.dev)")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /debug (expvar, pprof, telemetry) on this address while running")
+	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
-	cfg := experiments.Config{Scale: *scale}
 	if err := run(cfg, *exp); err != nil {
 		fmt.Fprintf(os.Stderr, "stfwbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg experiments.Config, exp string) error {
+func run(cfg benchConfig, exp string) error {
+	stopProfiles, err := telemetry.StartProfiles(cfg.cpuProfile, cfg.memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "stfwbench: %v\n", err)
+		}
+	}()
+
+	// The live experiment's world is fixed (K=64 over a 3-dimensional VPT),
+	// so its registry can exist before the run — which lets -debug-addr
+	// expose it while the exchange executes.
+	var reg *telemetry.Registry
+	if exp == "live" || cfg.telemetry || cfg.traceOut != "" {
+		reg, err = telemetry.New(telemetry.Config{Ranks: liveK, Stages: liveDim})
+		if err != nil {
+			return err
+		}
+	}
 	runners := map[string]func(experiments.Config) error{
 		"table1":       runTable1,
 		"fig1":         runFig1,
@@ -49,18 +95,28 @@ func run(cfg experiments.Config, exp string) error {
 		"skew":         runSkew,
 		"mapping":      runMapping,
 		"stencil":      runStencil,
+		"live":         func(c experiments.Config) error { return runLive(c, cfg, reg) },
 	}
 	order := []string{"table1", "fig1", "table2", "fig6", "fig7", "fig8", "fig9", "table3", "fig10",
 		"partitioners", "skew", "mapping", "stencil"}
+	if cfg.debugAddr != "" {
+		// Without a registry the endpoint still serves pprof and expvar.
+		ds, err := reg.ServeDebug(cfg.debugAddr)
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		fmt.Printf("debug endpoint: http://%s/debug/\n", ds.Addr)
+	}
 	if exp != "all" {
 		r, ok := runners[exp]
 		if !ok {
 			return fmt.Errorf("unknown experiment %q", exp)
 		}
-		return timed(exp, cfg, r)
+		return timed(exp, cfg.Config, r)
 	}
 	for _, name := range order {
-		if err := timed(name, cfg, runners[name]); err != nil {
+		if err := timed(name, cfg.Config, runners[name]); err != nil {
 			return err
 		}
 	}

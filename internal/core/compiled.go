@@ -24,9 +24,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"stfw/internal/msg"
 	"stfw/internal/runtime"
+	"stfw/internal/telemetry"
 )
 
 // Replay is a compiled iteration program for one rank: a fixed schedule of
@@ -45,7 +47,19 @@ type Replay struct {
 	// into the frame arena at the end of every Run.
 	inFrames [][]byte
 	pending  []int // scratch for arrival-order receives, reused across runs
+	// tele, when set, records per-stage gather/forward/deliver spans and
+	// forwarded byte counts; see Instrument.
+	tele *telemetry.Rank
 }
+
+// Instrument attaches a live telemetry collector to the replay: every Run
+// records one gather span (the self-delivery scatter) plus, per stage, a
+// forward span (frame build and send: gather ops, forward memcpys, Send)
+// and a deliver span (arrival-order receives and halo scatter), and counts
+// forwarded submessage bytes. A nil collector detaches. The hooks cost two
+// clock reads per stage and allocate nothing, preserving the replay's
+// zero-allocation steady state.
+func (r *Replay) Instrument(t *telemetry.Rank) { r.tele = t }
 
 // rStage is one communication stage: the frames sent to this stage's
 // neighbors and the receive schedule for the frames arriving from them.
@@ -350,16 +364,24 @@ func (r *Replay) Run(c runtime.Comm, x []float64, halo []float64) error {
 	}
 	defer r.release()
 
+	var mark time.Time
+	if r.tele != nil {
+		mark = time.Now()
+	}
 	for _, s := range r.selfs {
 		dst := halo[s.haloOff : int(s.haloOff)+len(s.idx)]
 		for i, g := range s.idx {
 			dst[i] = x[g]
 		}
 	}
+	if r.tele != nil {
+		mark = r.tele.SpanMark(telemetry.KGather, -1, mark)
+	}
 
 	retains := runtime.SendRetains(c)
 	for si := range r.stages {
 		st := &r.stages[si]
+		fwdSubs, fwdBytes := 0, 0
 		for fi := range st.frames {
 			f := &st.frames[fi]
 			buf := msg.GetFrameLen(len(f.tmpl))
@@ -369,6 +391,8 @@ func (r *Replay) Run(c runtime.Comm, x []float64, halo []float64) error {
 			}
 			for _, fw := range f.fwds {
 				copy(buf[fw.dstOff:fw.dstOff+fw.n], r.inFrames[fw.frame][fw.srcOff:fw.srcOff+fw.n])
+				fwdSubs++
+				fwdBytes += int(fw.n)
 			}
 			err := c.Send(f.to, st.tag, buf)
 			if !retains {
@@ -377,6 +401,12 @@ func (r *Replay) Run(c runtime.Comm, x []float64, halo []float64) error {
 			if err != nil {
 				return fmt.Errorf("core: rank %d replay stage %d send to %d: %w", r.me, si, f.to, err)
 			}
+		}
+		if r.tele != nil {
+			if fwdSubs > 0 {
+				r.tele.CountForward(si, fwdSubs, fwdBytes)
+			}
+			mark = r.tele.SpanMark(telemetry.KForward, si, mark)
 		}
 
 		pending := append(r.pending[:0], st.recvFrom...)
@@ -409,6 +439,9 @@ func (r *Replay) Run(c runtime.Comm, x []float64, halo []float64) error {
 			for _, dv := range st.delivers[j] {
 				scatterFloats(halo[dv.haloOff:dv.haloOff+dv.words], raw[dv.srcOff:dv.srcOff+8*dv.words])
 			}
+		}
+		if r.tele != nil {
+			mark = r.tele.SpanMark(telemetry.KDeliver, si, mark)
 		}
 	}
 	return nil

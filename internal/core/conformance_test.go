@@ -10,15 +10,61 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 
 	"stfw/internal/core"
 	"stfw/internal/msg"
 	"stfw/internal/runtime"
+	"stfw/internal/telemetry"
 	"stfw/internal/transport/chanpt"
 	"stfw/internal/transport/tcpnet"
 	"stfw/internal/vpt"
 )
+
+// confTelemetry switches the whole suite to run with the live telemetry
+// layer attached (wrapped comms + exchange span hooks). The CI telemetry
+// job sets STFW_TELEMETRY=1 and runs the suite under -race, proving the
+// instrumentation neither perturbs results nor races with the engines.
+var confTelemetry = os.Getenv("STFW_TELEMETRY") != ""
+
+// confInstrument wraps the world's comms in counting wrappers when
+// STFW_TELEMETRY is set and returns the registry (nil when disabled —
+// core.WithTelemetry(reg.Rank(r)) then wires a nil, disabled collector).
+func confInstrument(t *testing.T, comms []runtime.Comm, stages int) *telemetry.Registry {
+	t.Helper()
+	if !confTelemetry {
+		return nil
+	}
+	reg, err := telemetry.New(telemetry.Config{Ranks: len(comms), Stages: stages})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.WrapComms(comms, func(tag int) (int, bool) {
+		return core.TagStage(tag, stages)
+	})
+	return reg
+}
+
+// confCheckTelemetry asserts the collectors saw the run and that the span
+// rings export a structurally valid Perfetto trace.
+func confCheckTelemetry(t *testing.T, reg *telemetry.Registry) {
+	t.Helper()
+	if reg == nil {
+		return
+	}
+	s := reg.Snapshot()
+	if tot := s.Totals(); tot.Sends == 0 || tot.Recvs == 0 {
+		t.Fatalf("telemetry recorded no traffic: %+v", tot)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := telemetry.ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
 
 // confPayload derives a deterministic, per-(src,dst) payload with a length
 // that is intentionally not a multiple of 8, exercising the codec on
@@ -84,13 +130,15 @@ func refDeliveries(K int, dests map[int][]int) [][]msg.Submessage {
 func runConformance(t *testing.T, comms []runtime.Comm, tp *vpt.Topology, dests map[int][]int, opts ...core.ExchangeOpt) {
 	t.Helper()
 	K := len(comms)
+	reg := confInstrument(t, comms, tp.N())
 	got := make([]*core.Delivered, K)
 	err := runtime.Run(comms, func(c runtime.Comm) error {
 		payloads := map[int][]byte{}
 		for _, dst := range dests[c.Rank()] {
 			payloads[dst] = confPayload(c.Rank(), dst)
 		}
-		d, err := core.Exchange(c, tp, payloads, opts...)
+		rankOpts := append(opts[:len(opts):len(opts)], core.WithTelemetry(reg.Rank(c.Rank())))
+		d, err := core.Exchange(c, tp, payloads, rankOpts...)
 		if err != nil {
 			return err
 		}
@@ -100,6 +148,7 @@ func runConformance(t *testing.T, comms []runtime.Comm, tp *vpt.Topology, dests 
 	if err != nil {
 		t.Fatal(err)
 	}
+	confCheckTelemetry(t, reg)
 	ref := refDeliveries(K, dests)
 	for q := 0; q < K; q++ {
 		if len(got[q].Subs) != len(ref[q]) {
@@ -214,13 +263,15 @@ func TestConformanceDirect(t *testing.T) {
 	ref := refDeliveries(K, dests)
 
 	run := func(t *testing.T, comms []runtime.Comm, opts ...core.ExchangeOpt) {
+		reg := confInstrument(t, comms, 1)
 		got := make([]*core.Delivered, K)
 		err := runtime.Run(comms, func(c runtime.Comm) error {
 			payloads := map[int][]byte{}
 			for _, dst := range dests[c.Rank()] {
 				payloads[dst] = confPayload(c.Rank(), dst)
 			}
-			d, err := core.DirectExchange(c, payloads, recvFrom[c.Rank()], opts...)
+			rankOpts := append(opts[:len(opts):len(opts)], core.WithTelemetry(reg.Rank(c.Rank())))
+			d, err := core.DirectExchange(c, payloads, recvFrom[c.Rank()], rankOpts...)
 			if err != nil {
 				return err
 			}
@@ -230,6 +281,7 @@ func TestConformanceDirect(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		confCheckTelemetry(t, reg)
 		for q := 0; q < K; q++ {
 			if len(got[q].Subs) != len(ref[q]) {
 				t.Fatalf("rank %d: %d deliveries, want %d", q, len(got[q].Subs), len(ref[q]))

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"stfw/internal/msg"
 	"stfw/internal/runtime"
+	"stfw/internal/telemetry"
 	"stfw/internal/vpt"
 )
 
@@ -44,6 +46,7 @@ type exchangeOptions struct {
 	ordered bool
 	plan    *Plan
 	probe   func(stage, residentPayloadBytes int)
+	tele    *telemetry.Rank
 }
 
 // Ordered selects the legacy stage engine: sends issued inline from the
@@ -67,6 +70,16 @@ func WithPlan(p *Plan) ExchangeOpt { return func(o *exchangeOptions) { o.plan = 
 // that a live execution never exceeds the static occupancy bound.
 func WithStageProbe(f func(stage, residentPayloadBytes int)) ExchangeOpt {
 	return func(o *exchangeOptions) { o.probe = f }
+}
+
+// WithTelemetry attaches this rank's live telemetry collector: the engine
+// records one stage-scoped span per communication stage and counts the
+// submessages it stores and forwards. Frame-level send/recv counters come
+// from wrapping the communicator (telemetry.Registry.WrapComm), which works
+// for both engines without their cooperation; this option adds the parts
+// only the engine can see. A nil collector is a no-op.
+func WithTelemetry(t *telemetry.Rank) ExchangeOpt {
+	return func(o *exchangeOptions) { o.tele = t }
 }
 
 // Exchange runs Algorithm 1 on one rank: it injects this rank's outgoing
@@ -146,6 +159,10 @@ func reservePlanOccupancy(fb *msg.ForwardBuffers, t *vpt.Topology, p *Plan, me i
 // neighbor order.
 func exchangeOrdered(c runtime.Comm, t *vpt.Topology, me int, fb *msg.ForwardBuffers, out *Delivered, opt *exchangeOptions) (*Delivered, error) {
 	var encodeBuf []byte
+	var stageStart time.Time
+	if opt.tele != nil {
+		stageStart = time.Now()
+	}
 	for d := 0; d < t.N(); d++ {
 		tag := tagBase + d
 		myDigit := t.Digit(me, d)
@@ -187,7 +204,7 @@ func exchangeOrdered(c runtime.Comm, t *vpt.Topology, me int, fb *msg.ForwardBuf
 				return nil, fmt.Errorf("core: rank %d stage %d: misrouted frame %d->%d arrived from %d",
 					me, d, m.From, m.To, from)
 			}
-			delivered, err := scatterFrame(t, me, d, fb, out, m.Subs)
+			delivered, err := scatterFrame(t, me, d, fb, out, m.Subs, opt.tele)
 			if err != nil {
 				return nil, err
 			}
@@ -195,6 +212,9 @@ func exchangeOrdered(c runtime.Comm, t *vpt.Topology, me int, fb *msg.ForwardBuf
 		}
 		if opt.probe != nil {
 			opt.probe(d, fb.PayloadBytes()+stageDelivered)
+		}
+		if opt.tele != nil {
+			stageStart = opt.tele.SpanMark(telemetry.KStage, d, stageStart)
 		}
 	}
 	if left := fb.SubCount(); left != 0 {
@@ -230,14 +250,18 @@ func exchangePipelined(c runtime.Comm, t *vpt.Topology, me int, fb *msg.ForwardB
 	defer sw.join()
 
 	var (
-		decoded  msg.Message // DecodeInto scratch, reused across frames
-		pending  []int
-		frameArr = make([]stageFrame, 0, nbrs) // backing array for all stages' batches
+		decoded    msg.Message // DecodeInto scratch, reused across frames
+		pending    []int
+		frameArr   = make([]stageFrame, 0, nbrs) // backing array for all stages' batches
+		stageStart time.Time
 	)
 	for d := 0; d < t.N(); d++ {
 		tag := tagBase + d
 		myDigit := t.Digit(me, d)
 		kd := t.Dim(d)
+		if opt.tele != nil {
+			stageStart = time.Now()
+		}
 
 		// Drain this stage's buffers in deterministic neighbor order and
 		// hand the batch to the worker (which owns its subslice from then
@@ -277,7 +301,7 @@ func exchangePipelined(c runtime.Comm, t *vpt.Topology, me int, fb *msg.ForwardB
 				return nil, fmt.Errorf("core: rank %d stage %d: misrouted frame %d->%d arrived from %d",
 					me, d, decoded.From, decoded.To, from)
 			}
-			delivered, err := scatterFrame(t, me, d, fb, out, decoded.Subs)
+			delivered, err := scatterFrame(t, me, d, fb, out, decoded.Subs, opt.tele)
 			if err != nil {
 				return nil, err
 			}
@@ -285,6 +309,9 @@ func exchangePipelined(c runtime.Comm, t *vpt.Topology, me int, fb *msg.ForwardB
 		}
 		if opt.probe != nil {
 			opt.probe(d, fb.PayloadBytes()+stageDelivered)
+		}
+		if opt.tele != nil {
+			stageStart = opt.tele.SpanMark(telemetry.KStage, d, stageStart)
 		}
 	}
 	if err := sw.join(); err != nil {
@@ -363,9 +390,11 @@ func (sw *sendWorker) join() error {
 
 // scatterFrame routes one received frame's submessages: deliveries append
 // to out (returning their payload byte count), everything else goes to the
-// forward buffer of its next stage.
-func scatterFrame(t *vpt.Topology, me, d int, fb *msg.ForwardBuffers, out *Delivered, subs []msg.Submessage) (int, error) {
+// forward buffer of its next stage. Forwarded submessages are counted into
+// the stage's telemetry (one batched update per frame).
+func scatterFrame(t *vpt.Topology, me, d int, fb *msg.ForwardBuffers, out *Delivered, subs []msg.Submessage, tele *telemetry.Rank) (int, error) {
 	delivered := 0
+	fwdSubs, fwdBytes := 0, 0
 	for _, sub := range subs {
 		if sub.Dst == me {
 			out.Subs = append(out.Subs, sub)
@@ -382,6 +411,11 @@ func scatterFrame(t *vpt.Topology, me, d int, fb *msg.ForwardBuffers, out *Deliv
 				me, d, sub.Dst)
 		}
 		fb.Put(c2, t.Digit(sub.Dst, c2), sub)
+		fwdSubs++
+		fwdBytes += len(sub.Data)
+	}
+	if fwdSubs > 0 {
+		tele.CountForward(d, fwdSubs, fwdBytes)
 	}
 	return delivered, nil
 }
@@ -425,10 +459,22 @@ func DirectExchange(c runtime.Comm, payloads map[int][]byte, recvFrom []int, opt
 	me := c.Rank()
 	const tag = tagBase - 1
 	out := &Delivered{}
-	if opt.ordered {
-		return directOrdered(c, me, payloads, recvFrom, out)
+	var start time.Time
+	if opt.tele != nil {
+		start = time.Now()
 	}
-	return directPipelined(c, me, payloads, recvFrom, out)
+	var err error
+	if opt.ordered {
+		out, err = directOrdered(c, me, payloads, recvFrom, out)
+	} else {
+		out, err = directPipelined(c, me, payloads, recvFrom, out)
+	}
+	if err == nil && opt.tele != nil {
+		// The baseline is a single-stage schedule; its one span lands on
+		// stage 0, matching TagStage's mapping of the direct tag.
+		opt.tele.SpanSince(telemetry.KStage, 0, start)
+	}
+	return out, err
 }
 
 // directOrdered is the legacy baseline path, kept verbatim.

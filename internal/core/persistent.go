@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"stfw/internal/msg"
 	"stfw/internal/runtime"
+	"stfw/internal/telemetry"
 	"stfw/internal/vpt"
 )
 
@@ -56,7 +58,13 @@ type Persistent struct {
 	// store is the legacy replay's payload staging table, hoisted out of
 	// Run so repeated replays reuse one map (cleared, not reallocated).
 	store map[slotKey][]byte
+	// tele, when set, records one stage-scoped span per Run stage.
+	tele *telemetry.Rank
 }
+
+// Instrument attaches a live telemetry collector: Run records one span per
+// communication stage. A nil collector detaches.
+func (p *Persistent) Instrument(t *telemetry.Rank) { p.tele = t }
 
 type slotKey struct{ src, dst int32 }
 
@@ -238,6 +246,10 @@ func (p *Persistent) Run(c runtime.Comm, payloads map[int][]byte) (*Delivered, e
 	}
 
 	var encodeBuf []byte
+	var stageStart time.Time
+	if p.tele != nil {
+		stageStart = time.Now()
+	}
 	t := p.topo
 	for d := 0; d < t.N(); d++ {
 		tag := StageTag(d)
@@ -279,6 +291,9 @@ func (p *Persistent) Run(c runtime.Comm, payloads map[int][]byte) (*Delivered, e
 			for _, sub := range m.Subs {
 				store[slotKey{src: int32(sub.Src), dst: int32(sub.Dst)}] = sub.Data
 			}
+		}
+		if p.tele != nil {
+			stageStart = p.tele.SpanMark(telemetry.KStage, d, stageStart)
 		}
 	}
 

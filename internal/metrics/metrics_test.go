@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"stfw/internal/core"
@@ -48,9 +49,23 @@ func TestSummarizeDirect(t *testing.T) {
 func TestSummarizeMismatch(t *testing.T) {
 	s := core.NewSendSets(4)
 	p, _ := core.BuildDirectPlan(s)
-	bad := core.NewSendSets(8)
-	if _, err := Summarize("x", p, bad); err == nil {
-		t.Error("K mismatch accepted")
+	for _, badK := range []int{1, 8} {
+		bad := core.NewSendSets(badK)
+		_, err := Summarize("x", p, bad)
+		if err == nil {
+			t.Errorf("K=%d mismatch accepted", badK)
+		} else if !strings.Contains(err.Error(), "K=") {
+			t.Errorf("K=%d error does not name the mismatch: %v", badK, err)
+		}
+	}
+	// Matching K on an all-empty schedule is not an error: every metric is
+	// simply zero.
+	sum, err := Summarize("empty", p, core.NewSendSets(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.MMax != 0 || sum.MAvg != 0 || sum.VAvg != 0 || sum.BufferBytes != 0 {
+		t.Errorf("empty schedule metrics = %+v", sum)
 	}
 }
 

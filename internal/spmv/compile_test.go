@@ -5,9 +5,11 @@ import (
 	"math"
 	"testing"
 
+	"stfw/internal/core"
 	"stfw/internal/partition"
 	"stfw/internal/runtime"
 	"stfw/internal/sparse"
+	"stfw/internal/telemetry"
 	"stfw/internal/transport/chanpt"
 	"stfw/internal/vpt"
 )
@@ -154,6 +156,14 @@ func startAllocWorld(t *testing.T, a *sparse.CSR, part *partition.Partition, pat
 	}
 	aw := &allocWorld{step: make([]chan []float64, K), done: make([]chan error, K)}
 	comms := w.Comms()
+	if opt.Telemetry != nil {
+		// Full wiring: frame counters via the wrapped comms on top of the
+		// session's phase/stage span hooks.
+		stages := opt.Telemetry.Stages()
+		opt.Telemetry.WrapComms(comms, func(tag int) (int, bool) {
+			return core.TagStage(tag, stages)
+		})
+	}
 	for r := 0; r < K; r++ {
 		aw.step[r] = make(chan []float64)
 		aw.done[r] = make(chan error)
@@ -218,6 +228,11 @@ func TestSessionMultiplyZeroAlloc(t *testing.T) {
 	}{
 		{"BL", Options{Method: BL}},
 		{"STFW", Options{Method: STFW, Topo: tp}},
+		// The telemetry variants gate the overhead claim: counters, span
+		// rings, and wrapped comms must not cost a single allocation in the
+		// steady state.
+		{"BL+telemetry", Options{Method: BL, Telemetry: telemetry.MustNew(telemetry.Config{Ranks: K, Stages: 1})}},
+		{"STFW+telemetry", Options{Method: STFW, Topo: tp, Telemetry: telemetry.MustNew(telemetry.Config{Ranks: K, Stages: tp.N()})}},
 	} {
 		t.Run(cfg.name, func(t *testing.T) {
 			aw := startAllocWorld(t, a, part, pat, cfg.opt, K)
@@ -240,6 +255,21 @@ func TestSessionMultiplyZeroAlloc(t *testing.T) {
 			}
 			if avg != 0 {
 				t.Fatalf("steady-state Session.Multiply allocates %.2f times per op across %d ranks, want 0", avg, K)
+			}
+			if reg := cfg.opt.Telemetry; reg != nil {
+				// The gate must not pass vacuously: the collectors saw the run.
+				s := reg.Snapshot()
+				tot := s.Totals()
+				if tot.Sends == 0 || tot.SendBytes == 0 {
+					t.Fatalf("telemetry recorded no frames: %+v", tot)
+				}
+				var spans int64
+				for _, r := range s.Ranks {
+					spans += r.SpanCount
+				}
+				if spans == 0 {
+					t.Fatal("telemetry recorded no spans")
+				}
 			}
 		})
 	}

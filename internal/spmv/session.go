@@ -11,6 +11,7 @@ import (
 	"stfw/internal/partition"
 	"stfw/internal/runtime"
 	"stfw/internal/sparse"
+	"stfw/internal/telemetry"
 )
 
 // Session is a per-rank handle for repeated SpMV with the same matrix,
@@ -41,6 +42,7 @@ type Session struct {
 	ownRows  []int            // rows this rank owns, ascending
 	prog     *program         // compiled iteration, nil when opt.Uncompiled
 	tm       PhaseTimings
+	tel      *telemetry.Rank // live collector for this rank; nil when disabled
 }
 
 // NewSession validates the configuration and prepares the per-rank state.
@@ -59,6 +61,7 @@ func NewSession(c runtime.Comm, a *sparse.CSR, part *partition.Partition, pat *P
 	}
 	s := &Session{c: c, a: a, part: part, pat: pat, opt: opt}
 	me := c.Rank()
+	s.tel = opt.Telemetry.Rank(me)
 	for src := range pat.RecvIdx[me] {
 		s.recvFrom = append(s.recvFrom, src)
 	}
@@ -87,6 +90,7 @@ func NewSession(c runtime.Comm, a *sparse.CSR, part *partition.Partition, pat *P
 				return nil, fmt.Errorf("spmv: rank %d: exchange delivers %d halo words, kernel expects %d",
 					me, r.HaloWords(), prog.haloWords)
 			}
+			r.Instrument(s.tel)
 			prog.replay = r
 		}
 	}
@@ -121,6 +125,7 @@ func (s *Session) Multiply(x []float64) ([]float64, error) {
 			return nil, fmt.Errorf("spmv: rank %d: exchange delivers %d halo words, kernel expects %d",
 				s.c.Rank(), r.HaloWords(), s.prog.haloWords)
 		}
+		r.Instrument(s.tel)
 		s.prog.replay = r
 		return y, nil
 	}
@@ -152,7 +157,20 @@ func (s *Session) multiplyCompiled(x []float64) ([]float64, error) {
 	s.tm.Exchange += t2.Sub(t1)
 	s.tm.Kernel += t3.Sub(t2)
 	s.tm.Iters++
+	s.spanPhases(t0, t1, t2, t3)
 	return p.y, nil
+}
+
+// spanPhases mirrors the accumulated PhaseTimings instants into the live
+// telemetry timeline (one gather/exchange/kernel slice per multiply). The
+// same clock reads feed both, so the trace and Timings always agree.
+func (s *Session) spanPhases(t0, t1, t2, t3 time.Time) {
+	if s.tel == nil {
+		return
+	}
+	s.tel.SpanBetween(telemetry.KGather, -1, t0, t1)
+	s.tel.SpanBetween(telemetry.KExchange, -1, t1, t2)
+	s.tel.SpanBetween(telemetry.KKernel, -1, t2, t3)
 }
 
 // multiplySeed is the original map-based path, kept as the differential
@@ -174,9 +192,12 @@ func (s *Session) multiplySeed(x []float64) ([]float64, error) {
 	var err error
 	switch {
 	case s.opt.Method == BL:
-		delivered, err = core.DirectExchange(s.c, payloads, s.recvFrom)
+		delivered, err = core.DirectExchange(s.c, payloads, s.recvFrom, core.WithTelemetry(s.tel))
 	case s.persist == nil:
 		s.persist, delivered, err = core.NewPersistent(s.c, s.opt.Topo, payloads)
+		if s.persist != nil {
+			s.persist.Instrument(s.tel)
+		}
 	default:
 		delivered, err = s.persist.Run(s.c, payloads)
 	}
@@ -207,6 +228,7 @@ func (s *Session) multiplySeed(x []float64) ([]float64, error) {
 	s.tm.Exchange += t2.Sub(t1)
 	s.tm.Kernel += t3.Sub(t2)
 	s.tm.Iters++
+	s.spanPhases(t0, t1, t2, t3)
 	return y, nil
 }
 

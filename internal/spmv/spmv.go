@@ -18,6 +18,7 @@ import (
 	"stfw/internal/partition"
 	"stfw/internal/runtime"
 	"stfw/internal/sparse"
+	"stfw/internal/telemetry"
 	"stfw/internal/vpt"
 )
 
@@ -138,6 +139,13 @@ type Options struct {
 	// indexed program. The two paths are bit-identical; Uncompiled exists
 	// as the differential baseline and for benchmarking the compile win.
 	Uncompiled bool
+	// Telemetry, when set, attaches each rank's session to the registry's
+	// live collector: Multiply records gather/exchange/kernel phase spans
+	// and the exchange records stage spans and forward counts. The hooks
+	// are allocation-free, so the zero-alloc steady state holds with
+	// telemetry enabled. Frame-level send/recv counters additionally
+	// require wrapping the communicators (telemetry.Registry.WrapComm).
+	Telemetry *telemetry.Registry
 }
 
 // Run executes one distributed SpMV y = A*x over the communicator: the

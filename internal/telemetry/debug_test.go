@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func getBody(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+func TestDebugHandler(t *testing.T) {
+	g := seedRegistry(t, 2, 2)
+	h := g.Handler()
+
+	code, body := getBody(t, h, "/debug/")
+	if code != 200 || !strings.Contains(body, "/debug/trace") {
+		t.Fatalf("index: %d %q", code, body)
+	}
+	if code, _ := getBody(t, h, "/debug/bogus"); code != 404 {
+		t.Fatalf("unknown path: %d", code)
+	}
+
+	code, body = getBody(t, h, "/debug/telemetry")
+	if code != 200 {
+		t.Fatalf("telemetry: %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("telemetry snapshot does not parse: %v", err)
+	}
+	if len(snap.Ranks) != 2 {
+		t.Fatalf("snapshot has %d ranks", len(snap.Ranks))
+	}
+
+	code, body = getBody(t, h, "/debug/trace")
+	if code != 200 {
+		t.Fatalf("trace: %d", code)
+	}
+	if _, err := ValidateTrace([]byte(body)); err != nil {
+		t.Fatalf("served trace invalid: %v", err)
+	}
+
+	code, body = getBody(t, h, "/debug/hist")
+	if code != 200 || !strings.Contains(body, "frame sizes") {
+		t.Fatalf("hist: %d %q", code, body)
+	}
+
+	if code, _ := getBody(t, h, "/debug/pprof/"); code != 200 {
+		t.Fatalf("pprof index: %d", code)
+	}
+	if code, _ := getBody(t, h, "/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("pprof cmdline: %d", code)
+	}
+}
+
+func TestNilRegistryHandler(t *testing.T) {
+	var g *Registry
+	h := g.Handler()
+	if code, _ := getBody(t, h, "/debug/trace"); code != http.StatusServiceUnavailable {
+		t.Fatalf("nil registry trace: want 503, got %d", code)
+	}
+	if code, body := getBody(t, h, "/debug/hist"); code != 200 || !strings.Contains(body, "disabled") {
+		t.Fatalf("nil registry hist: %d %q", code, body)
+	}
+	if code, _ := getBody(t, h, "/debug/pprof/cmdline"); code != 200 {
+		t.Fatal("pprof must work without telemetry")
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	g := seedRegistry(t, 1, 1)
+	ds, err := g.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if ds.Addr == "" {
+		t.Fatal("no bound address")
+	}
+
+	resp, err := http.Get("http://" + ds.Addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("vars: %d", resp.StatusCode)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("expvar output does not parse: %v", err)
+	}
+	raw, ok := vars["stfw_telemetry"]
+	if !ok {
+		t.Fatalf("stfw_telemetry not published; vars: %s", body)
+	}
+	var tele struct {
+		Ranks  int             `json:"ranks"`
+		Totals CounterSnapshot `json:"totals"`
+	}
+	if err := json.Unmarshal(raw, &tele); err != nil {
+		t.Fatal(err)
+	}
+	if tele.Ranks != 1 || tele.Totals.Sends != 1 {
+		t.Fatalf("published telemetry = %+v", tele)
+	}
+
+	if err := ds.Close(); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("close: %v", err)
+	}
+	// Close is idempotent enough for a nil server too.
+	var none *DebugServer
+	if err := none.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeDebugBadAddr(t *testing.T) {
+	g := seedRegistry(t, 1, 1)
+	if _, err := g.ServeDebug("256.256.256.256:99999"); err == nil {
+		t.Fatal("bad address should error")
+	}
+}

@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets covers the full non-negative int64 range in power-of-two
+// buckets: bucket 0 holds values <= 1, bucket i holds (2^(i-1), 2^i].
+const histBuckets = 64
+
+// Histogram is a lock-free log2 histogram. Observe is one atomic add on
+// the bucket and one on the running sum — the observation count is
+// derived from the buckets at snapshot time rather than maintained as a
+// third hot-path atomic — so it is safe on the exchange hot path;
+// negative observations clamp into bucket 0.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	sum     atomic.Int64
+}
+
+// histBucket returns the bucket index of v: ceil(log2 v) for v >= 2.
+func histBucket(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(v - 1))
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[histBucket(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// HistSnapshot is a plain-value copy of a histogram. Buckets is truncated
+// after the last non-empty bucket.
+type HistSnapshot struct {
+	Buckets []int64 `json:"buckets"`
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+}
+
+// Snapshot copies the histogram counters. Count is the bucket total, so a
+// snapshot racing active observers may see a sum that lags the buckets by
+// in-flight observations — consistent-enough for a monitoring view.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{Sum: h.sum.Load()}
+	last := -1
+	var all [histBuckets]int64
+	for i := range all {
+		all[i] = h.buckets[i].Load()
+		s.Count += all[i]
+		if all[i] != 0 {
+			last = i
+		}
+	}
+	s.Buckets = append(s.Buckets, all[:last+1]...)
+	return s
+}
+
+// merge folds another snapshot into s bucket-wise (used to aggregate the
+// per-rank histograms into the world-wide view).
+func (s *HistSnapshot) merge(o HistSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if len(o.Buckets) > len(s.Buckets) {
+		s.Buckets = append(s.Buckets, make([]int64, len(o.Buckets)-len(s.Buckets))...)
+	}
+	for i, n := range o.Buckets {
+		s.Buckets[i] += n
+	}
+}
+
+// Mean returns the arithmetic mean of the observations, 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts,
+// resolving to the upper edge of the containing bucket — exact to within
+// the 2x bucket width, which is all a log-scale summary promises.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= target {
+			if i == 0 {
+				return 1
+			}
+			return int64(1) << uint(i)
+		}
+	}
+	return int64(1) << uint(len(s.Buckets))
+}
+
+// render writes one histogram as an ASCII log-scale bar chart.
+func (s HistSnapshot) render(w io.Writer, name, unit string) {
+	fmt.Fprintf(w, "%s: n=%d mean=%.1f%s p50<=%d p99<=%d\n",
+		name, s.Count, s.Mean(), unit, s.Quantile(0.5), s.Quantile(0.99))
+	if s.Count == 0 {
+		return
+	}
+	var most int64
+	for _, n := range s.Buckets {
+		if n > most {
+			most = n
+		}
+	}
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = int64(1)<<uint(i-1) + 1
+			if i == 1 {
+				lo = 2
+			}
+		}
+		bar := int(40 * n / most)
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(w, "  %12d..%-12d %8d ", lo, int64(1)<<uint(i), n)
+		for j := 0; j < bar; j++ {
+			io.WriteString(w, "#")
+		}
+		io.WriteString(w, "\n")
+	}
+}
+
+// WriteHistograms renders the registry's log-scale summaries — sent frame
+// sizes and stage-scoped span latencies, merged across ranks — as plain
+// text, the quick visual complement to the Perfetto trace.
+func (g *Registry) WriteHistograms(w io.Writer) {
+	if g == nil {
+		fmt.Fprintln(w, "telemetry disabled")
+		return
+	}
+	var frames, stages HistSnapshot
+	for r := range g.ranks {
+		frames.merge(g.ranks[r].FrameSizes.Snapshot())
+		stages.merge(g.ranks[r].StageNs.Snapshot())
+	}
+	frames.render(w, "frame sizes", "B")
+	stages.render(w, "stage latencies", "ns")
+}

@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	gort "runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts the runtime/pprof collection both commands expose
+// behind -cpuprofile/-memprofile: a CPU profile streaming to cpuPath and a
+// heap profile written to memPath at stop time. Either path may be empty to
+// skip that profile. The returned stop function is safe to call exactly
+// once (typically deferred) and reports the first error encountered while
+// finishing the profiles.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("telemetry: mem profile: %w", err)
+				}
+				return first
+			}
+			gort.GC() // fold transient garbage so the heap profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("telemetry: mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

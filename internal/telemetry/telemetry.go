@@ -1,0 +1,438 @@
+// Package telemetry is the live observability layer of the runtime: an
+// always-compilable, near-zero-overhead instrumentation substrate that
+// records what each rank actually does while an exchange executes — as
+// opposed to internal/trace (post-hoc plan verification) and
+// internal/metrics (static schedule summaries), which only describe what a
+// run *should* do.
+//
+// A Registry holds one collector per rank. Each collector keeps
+//
+//   - per-stage hot-path counters (frames and bytes sent, received, and
+//     forwarded, barrier entries and wait time) as plain atomics, and
+//   - a fixed-size ring of wall-clock spans (session phases, exchange
+//     stages, replay gather/forward/deliver phases) stamped against the
+//     registry's epoch.
+//
+// Everything is preallocated at New: the steady-state path performs no
+// locking and no allocation, only atomic adds and array stores, so the
+// layer may stay enabled inside the zero-alloc iteration gate
+// (TestSessionMultiplyZeroAlloc) and under benchmarks. A nil *Registry or
+// nil *Rank is a valid, fully disabled collector: every method is
+// nil-receiver safe, so call sites need no conditional wiring.
+//
+// Exporters turn a snapshot into a Chrome trace-event JSON (one track per
+// rank, one slice per span — loadable in Perfetto, see WriteTrace), a
+// log-scale histogram summary (WriteHistograms), or a live HTTP /debug
+// endpoint (ServeDebug: expvar counters, pprof, trace download).
+//
+// Span rings are sized by Config.SpanCap and overwrite oldest entries when
+// they wrap; counters never saturate. Spans may be recorded from the two
+// goroutines a rank legitimately runs (main loop and the pipelined send
+// worker): slots are claimed with an atomic cursor, so concurrent writers
+// never tear each other's entries, though a reader racing a writer on a
+// just-reclaimed slot may observe a mixed span. Snapshots are therefore
+// advisory during a run and exact once the run has quiesced (e.g. after
+// runtime.Run returns or at a barrier).
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a recorded span.
+type Kind uint8
+
+// Span kinds, ordered roughly outermost to innermost: session phases
+// (gather/exchange/kernel/reduce), then one communication stage of an
+// exchange, then the compiled replay's per-stage forward (frame build +
+// send) and deliver (receive + scatter) halves.
+const (
+	KGather Kind = iota
+	KExchange
+	KKernel
+	KReduce
+	KStage
+	KForward
+	KDeliver
+	numKinds
+)
+
+// String implements fmt.Stringer; the names double as trace-event slice
+// names.
+func (k Kind) String() string {
+	switch k {
+	case KGather:
+		return "gather"
+	case KExchange:
+		return "exchange"
+	case KKernel:
+		return "kernel"
+	case KReduce:
+		return "reduce"
+	case KStage:
+		return "stage"
+	case KForward:
+		return "forward"
+	case KDeliver:
+		return "deliver"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Span is one recorded wall-clock interval on one rank's timeline.
+type Span struct {
+	Kind  Kind
+	Stage int32 // communication stage, -1 when the span is not stage-scoped
+	Start int64 // nanoseconds since the registry epoch
+	Dur   int64 // nanoseconds
+}
+
+// StageCounters are one rank's hot-path counters for one communication
+// stage. Sends/Recvs count transport frames (empty frames included — their
+// arrival is part of the schedule); Forwards counts store-and-forwarded
+// submessages routed through this rank during the stage.
+type StageCounters struct {
+	Sends, SendBytes   atomic.Int64
+	Recvs, RecvBytes   atomic.Int64
+	Forwards, FwdBytes atomic.Int64
+}
+
+// CounterSnapshot is a plain-value copy of one stage's counters.
+type CounterSnapshot struct {
+	Sends, SendBytes   int64
+	Recvs, RecvBytes   int64
+	Forwards, FwdBytes int64
+}
+
+// Config sizes a Registry. The zero value of SpanCap selects
+// DefaultSpanCap; Stages must cover the largest stage index that will be
+// counted (stage indices at or above Stages fold into the last slot so a
+// misconfigured mapper degrades attribution, never safety).
+type Config struct {
+	Ranks  int
+	Stages int
+	// SpanCap is the per-rank span ring capacity; the ring overwrites its
+	// oldest entries once it wraps. Rounded up to a power of two so the
+	// hot-path ring index is a bit mask.
+	SpanCap int
+}
+
+// DefaultSpanCap is the per-rank span ring capacity when Config.SpanCap is
+// zero: enough for hundreds of iterations of a high-dimensional exchange.
+const DefaultSpanCap = 4096
+
+// Registry is the world-wide collector set: one Rank collector per rank,
+// a shared epoch all span timestamps are measured from, and the global
+// log-scale histograms.
+type Registry struct {
+	epoch   time.Time
+	stages  int
+	spanCap int
+	ranks   []Rank
+}
+
+// New creates a fully preallocated registry. Ranks and Stages must be
+// positive.
+func New(cfg Config) (*Registry, error) {
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("telemetry: %d ranks", cfg.Ranks)
+	}
+	if cfg.Stages < 1 {
+		return nil, fmt.Errorf("telemetry: %d stages", cfg.Stages)
+	}
+	if cfg.SpanCap == 0 {
+		cfg.SpanCap = DefaultSpanCap
+	}
+	if cfg.SpanCap < 1 {
+		return nil, fmt.Errorf("telemetry: span capacity %d", cfg.SpanCap)
+	}
+	// Round the ring up to a power of two so the hot-path ring index is a
+	// mask rather than an integer division.
+	cap := 1
+	for cap < cfg.SpanCap {
+		cap <<= 1
+	}
+	g := &Registry{epoch: time.Now(), stages: cfg.Stages, spanCap: cap}
+	g.ranks = make([]Rank, cfg.Ranks)
+	for r := range g.ranks {
+		g.ranks[r].reg = g
+		g.ranks[r].rank = r
+		g.ranks[r].epoch = g.epoch
+		g.ranks[r].stages = make([]StageCounters, cfg.Stages)
+		g.ranks[r].spans = make([]Span, cap)
+	}
+	return g, nil
+}
+
+// MustNew is New for statically valid configurations.
+func MustNew(cfg Config) *Registry {
+	g, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Ranks returns the world size the registry was built for, 0 when nil.
+func (g *Registry) Ranks() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.ranks)
+}
+
+// Stages returns the per-rank stage slot count, 0 when nil.
+func (g *Registry) Stages() int {
+	if g == nil {
+		return 0
+	}
+	return g.stages
+}
+
+// Epoch returns the instant span offsets are measured from.
+func (g *Registry) Epoch() time.Time {
+	if g == nil {
+		return time.Time{}
+	}
+	return g.epoch
+}
+
+// Rank returns rank r's collector, or nil when the registry is nil or r is
+// out of range — so `reg.Rank(c.Rank())` is always safe to wire through.
+func (g *Registry) Rank(r int) *Rank {
+	if g == nil || r < 0 || r >= len(g.ranks) {
+		return nil
+	}
+	return &g.ranks[r]
+}
+
+// Rank is one rank's collector. All methods are nil-receiver safe and
+// allocation-free.
+type Rank struct {
+	reg    *Registry
+	rank   int
+	epoch  time.Time // reg.epoch, copied here to spare a pointer chase per span
+	stages []StageCounters
+
+	Barriers  atomic.Int64
+	BarrierNs atomic.Int64
+
+	// FrameSizes observes the byte length of every frame this rank sends
+	// through a wrapped communicator; StageNs observes the duration of its
+	// stage-scoped spans (KStage, KForward, KDeliver). The histograms are
+	// per-rank — not registry-global — so hot-path observations never
+	// contend on shared cache lines; Snapshot merges them world-wide.
+	FrameSizes Histogram
+	StageNs    Histogram
+
+	spans  []Span
+	cursor atomic.Int64 // total spans ever recorded; ring index = cursor & (cap-1)
+}
+
+// stageSlot folds out-of-range stage indices into the edge slots so a
+// mapper bug can at worst misattribute, never index out of bounds.
+func (t *Rank) stageSlot(stage int) *StageCounters {
+	if stage < 0 {
+		stage = 0
+	}
+	if stage >= len(t.stages) {
+		stage = len(t.stages) - 1
+	}
+	return &t.stages[stage]
+}
+
+// CountSend records one sent frame of the given byte length in the stage's
+// counters and the registry's frame-size histogram.
+func (t *Rank) CountSend(stage, bytes int) {
+	if t == nil {
+		return
+	}
+	s := t.stageSlot(stage)
+	s.Sends.Add(1)
+	s.SendBytes.Add(int64(bytes))
+	t.FrameSizes.Observe(int64(bytes))
+}
+
+// CountRecv records one received frame of the given byte length.
+func (t *Rank) CountRecv(stage, bytes int) {
+	if t == nil {
+		return
+	}
+	s := t.stageSlot(stage)
+	s.Recvs.Add(1)
+	s.RecvBytes.Add(int64(bytes))
+}
+
+// CountForward records store-and-forwarded submessages routed through this
+// rank in the given stage: subs submessages totalling the given payload
+// bytes.
+func (t *Rank) CountForward(stage, subs, bytes int) {
+	if t == nil {
+		return
+	}
+	s := t.stageSlot(stage)
+	s.Forwards.Add(int64(subs))
+	s.FwdBytes.Add(int64(bytes))
+}
+
+// CountBarrier records one barrier entry and the nanoseconds spent waiting
+// in it.
+func (t *Rank) CountBarrier(ns int64) {
+	if t == nil {
+		return
+	}
+	t.Barriers.Add(1)
+	t.BarrierNs.Add(ns)
+}
+
+// SpanSince records a span of the given kind that started at start and
+// ends now. Pass stage -1 for spans that are not stage-scoped.
+func (t *Rank) SpanSince(k Kind, stage int, start time.Time) {
+	if t == nil {
+		return
+	}
+	t.SpanBetween(k, stage, start, time.Now())
+}
+
+// SpanMark records a span covering [prev, now) and returns now, letting
+// back-to-back phases share a single clock read per boundary — the end of
+// one phase is the start of the next. This is the hot-path form: engines
+// thread one mark through their phase sequence instead of reading the
+// clock twice at every transition.
+func (t *Rank) SpanMark(k Kind, stage int, prev time.Time) time.Time {
+	if t == nil {
+		return prev
+	}
+	now := time.Now()
+	t.SpanBetween(k, stage, prev, now)
+	return now
+}
+
+// SpanBetween records a span covering [start, end]. Offsets are taken
+// against the registry epoch through the monotonic clock, so spans from
+// different ranks land on one consistent timeline.
+func (t *Rank) SpanBetween(k Kind, stage int, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	sp := Span{
+		Kind:  k,
+		Stage: int32(stage),
+		Start: start.Sub(t.epoch).Nanoseconds(),
+		Dur:   end.Sub(start).Nanoseconds(),
+	}
+	if stage >= 0 {
+		t.StageNs.Observe(sp.Dur)
+	}
+	i := t.cursor.Add(1) - 1
+	t.spans[i&int64(len(t.spans)-1)] = sp // len is a power of two
+}
+
+// SpanCount returns the total number of spans ever recorded on this rank
+// (including entries the ring has since overwritten).
+func (t *Rank) SpanCount() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.cursor.Load()
+}
+
+// Spans copies the retained spans oldest-first into a fresh slice. At most
+// the ring capacity's worth of the most recent spans survive.
+func (t *Rank) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	n := t.cursor.Load()
+	cp := int64(len(t.spans))
+	if n <= cp {
+		return append([]Span(nil), t.spans[:n]...)
+	}
+	out := make([]Span, 0, cp)
+	for i := n - cp; i < n; i++ {
+		out = append(out, t.spans[i%cp])
+	}
+	return out
+}
+
+// Counters copies stage s's counters; the zero snapshot when out of range.
+func (t *Rank) Counters(stage int) CounterSnapshot {
+	if t == nil || stage < 0 || stage >= len(t.stages) {
+		return CounterSnapshot{}
+	}
+	c := &t.stages[stage]
+	return CounterSnapshot{
+		Sends: c.Sends.Load(), SendBytes: c.SendBytes.Load(),
+		Recvs: c.Recvs.Load(), RecvBytes: c.RecvBytes.Load(),
+		Forwards: c.Forwards.Load(), FwdBytes: c.FwdBytes.Load(),
+	}
+}
+
+// RankSnapshot is the plain-value state of one rank at snapshot time.
+type RankSnapshot struct {
+	Rank      int               `json:"rank"`
+	Stages    []CounterSnapshot `json:"stages"`
+	Barriers  int64             `json:"barriers"`
+	BarrierNs int64             `json:"barrier_ns"`
+	Spans     []Span            `json:"-"`
+	SpanCount int64             `json:"span_count"`
+}
+
+// Snapshot is a plain-value copy of the whole registry, suitable for
+// export, JSON encoding, or cross-goroutine inspection. FrameSizes and
+// StageNs are the world-wide merges of the per-rank histograms.
+type Snapshot struct {
+	Epoch      time.Time      `json:"epoch"`
+	Ranks      []RankSnapshot `json:"ranks"`
+	FrameSizes HistSnapshot   `json:"frame_sizes"`
+	StageNs    HistSnapshot   `json:"stage_ns"`
+}
+
+// Snapshot copies every rank's counters and spans. Nil-safe (returns an
+// empty snapshot).
+func (g *Registry) Snapshot() Snapshot {
+	if g == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		Epoch: g.epoch,
+		Ranks: make([]RankSnapshot, len(g.ranks)),
+	}
+	for r := range g.ranks {
+		t := &g.ranks[r]
+		rs := RankSnapshot{
+			Rank:      r,
+			Stages:    make([]CounterSnapshot, len(t.stages)),
+			Barriers:  t.Barriers.Load(),
+			BarrierNs: t.BarrierNs.Load(),
+			Spans:     t.Spans(),
+			SpanCount: t.SpanCount(),
+		}
+		for d := range t.stages {
+			rs.Stages[d] = t.Counters(d)
+		}
+		s.Ranks[r] = rs
+		s.FrameSizes.merge(t.FrameSizes.Snapshot())
+		s.StageNs.merge(t.StageNs.Snapshot())
+	}
+	return s
+}
+
+// Totals sums a snapshot's counters across ranks and stages.
+func (s *Snapshot) Totals() CounterSnapshot {
+	var out CounterSnapshot
+	for _, r := range s.Ranks {
+		for _, c := range r.Stages {
+			out.Sends += c.Sends
+			out.SendBytes += c.SendBytes
+			out.Recvs += c.Recvs
+			out.RecvBytes += c.RecvBytes
+			out.Forwards += c.Forwards
+			out.FwdBytes += c.FwdBytes
+		}
+	}
+	return out
+}

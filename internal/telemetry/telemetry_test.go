@@ -1,0 +1,294 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{Ranks: 0, Stages: 1},
+		{Ranks: -1, Stages: 1},
+		{Ranks: 1, Stages: 0},
+		{Ranks: 1, Stages: 1, SpanCap: -3},
+	}
+	for _, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v): want error", cfg)
+		}
+	}
+	g, err := New(Config{Ranks: 2, Stages: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Ranks() != 2 || g.Stages() != 3 {
+		t.Fatalf("got %d ranks %d stages, want 2/3", g.Ranks(), g.Stages())
+	}
+	if g.Epoch().IsZero() {
+		t.Fatal("epoch not set")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew on invalid config did not panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+// TestNilSafety exercises every exported method on nil receivers: the
+// disabled path must be a no-op, never a panic.
+func TestNilSafety(t *testing.T) {
+	var g *Registry
+	if g.Ranks() != 0 || g.Stages() != 0 || !g.Epoch().IsZero() {
+		t.Error("nil registry accessors not zero")
+	}
+	if g.Rank(0) != nil {
+		t.Error("nil registry returned a rank")
+	}
+	s := g.Snapshot()
+	if len(s.Ranks) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+	var sb strings.Builder
+	g.WriteHistograms(&sb)
+	if !strings.Contains(sb.String(), "disabled") {
+		t.Error("nil registry histogram dump should say disabled")
+	}
+	if err := g.WriteTrace(&sb); err == nil {
+		t.Error("nil registry WriteTrace should error")
+	}
+
+	var r *Rank
+	r.CountSend(0, 10)
+	r.CountRecv(0, 10)
+	r.CountForward(0, 1, 10)
+	r.CountBarrier(5)
+	r.SpanSince(KStage, 0, time.Now())
+	r.SpanBetween(KGather, -1, time.Now(), time.Now())
+	if r.SpanCount() != 0 || r.Spans() != nil {
+		t.Error("nil rank recorded spans")
+	}
+	if (r.Counters(0) != CounterSnapshot{}) {
+		t.Error("nil rank has counters")
+	}
+
+	var h *Histogram
+	h.Observe(4)
+	if h.Snapshot().Count != 0 {
+		t.Error("nil histogram counted")
+	}
+}
+
+func TestRankOutOfRange(t *testing.T) {
+	g := MustNew(Config{Ranks: 2, Stages: 1})
+	if g.Rank(-1) != nil || g.Rank(2) != nil {
+		t.Fatal("out-of-range rank lookup should be nil")
+	}
+	if g.Rank(1) == nil {
+		t.Fatal("in-range rank lookup is nil")
+	}
+}
+
+func TestCountersAndSnapshot(t *testing.T) {
+	g := MustNew(Config{Ranks: 2, Stages: 3})
+	r0 := g.Rank(0)
+	r0.CountSend(1, 100)
+	r0.CountSend(1, 50)
+	r0.CountRecv(1, 80)
+	r0.CountForward(2, 3, 24)
+	r0.CountBarrier(500)
+	g.Rank(1).CountSend(0, 7)
+
+	c := r0.Counters(1)
+	want := CounterSnapshot{Sends: 2, SendBytes: 150, Recvs: 1, RecvBytes: 80}
+	if c != want {
+		t.Fatalf("stage 1 counters = %+v, want %+v", c, want)
+	}
+	if f := r0.Counters(2); f.Forwards != 3 || f.FwdBytes != 24 {
+		t.Fatalf("stage 2 forwards = %+v", f)
+	}
+	if (r0.Counters(99) != CounterSnapshot{}) {
+		t.Fatal("out-of-range Counters not zero")
+	}
+
+	s := g.Snapshot()
+	tot := s.Totals()
+	if tot.Sends != 3 || tot.SendBytes != 157 || tot.Recvs != 1 || tot.Forwards != 3 {
+		t.Fatalf("totals = %+v", tot)
+	}
+	if s.Ranks[0].Barriers != 1 || s.Ranks[0].BarrierNs != 500 {
+		t.Fatalf("barrier counters = %+v", s.Ranks[0])
+	}
+	if s.FrameSizes.Count != 3 {
+		t.Fatalf("frame size histogram saw %d frames, want 3", s.FrameSizes.Count)
+	}
+}
+
+// TestStageSlotFolding: out-of-range stage indices land on the edge slots
+// rather than panicking.
+func TestStageSlotFolding(t *testing.T) {
+	g := MustNew(Config{Ranks: 1, Stages: 2})
+	r := g.Rank(0)
+	r.CountSend(-5, 1)
+	r.CountSend(99, 2)
+	if c := r.Counters(0); c.Sends != 1 {
+		t.Fatalf("stage 0 (folded from -5) sends = %d", c.Sends)
+	}
+	if c := r.Counters(1); c.Sends != 1 {
+		t.Fatalf("stage 1 (folded from 99) sends = %d", c.Sends)
+	}
+}
+
+func TestSpanRing(t *testing.T) {
+	g := MustNew(Config{Ranks: 1, Stages: 1, SpanCap: 4})
+	r := g.Rank(0)
+	base := g.Epoch()
+	for i := 0; i < 6; i++ {
+		start := base.Add(time.Duration(i) * time.Millisecond)
+		r.SpanBetween(KStage, 0, start, start.Add(time.Millisecond))
+	}
+	if r.SpanCount() != 6 {
+		t.Fatalf("span count = %d, want 6", r.SpanCount())
+	}
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want ring cap 4", len(spans))
+	}
+	// Oldest-first: spans 2..5 survive.
+	for i, sp := range spans {
+		want := int64((i + 2)) * int64(time.Millisecond)
+		if sp.Start != want {
+			t.Fatalf("span %d start = %d, want %d", i, sp.Start, want)
+		}
+		if sp.Dur != int64(time.Millisecond) {
+			t.Fatalf("span %d dur = %d", i, sp.Dur)
+		}
+	}
+	if g.Snapshot().StageNs.Count != 6 {
+		t.Fatal("stage-scoped spans should feed the latency histogram")
+	}
+}
+
+// TestSpanConcurrent hammers one rank's ring from several goroutines; run
+// under -race this locks down the atomic-cursor claim discipline.
+func TestSpanConcurrent(t *testing.T) {
+	g := MustNew(Config{Ranks: 1, Stages: 1, SpanCap: 64})
+	r := g.Rank(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.SpanSince(KForward, 0, time.Now())
+				r.CountSend(0, 8)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.SpanCount() != 2000 {
+		t.Fatalf("span count = %d, want 2000", r.SpanCount())
+	}
+	if c := r.Counters(0); c.Sends != 2000 {
+		t.Fatalf("sends = %d, want 2000", c.Sends)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KGather: "gather", KExchange: "exchange", KKernel: "kernel",
+		KReduce: "reduce", KStage: "stage", KForward: "forward",
+		KDeliver: "deliver", Kind(200): "Kind(200)",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind %d = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 4, 100, 1000, -7} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 8 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 1110 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	// Buckets: <=1 gets 0,1,-7 → 3; (1,2] → 1; (2,4] → 2; (64,128] → 1;
+	// (512,1024] → 1.
+	if s.Buckets[0] != 3 || s.Buckets[1] != 1 || s.Buckets[2] != 2 {
+		t.Fatalf("low buckets = %v", s.Buckets[:3])
+	}
+	if got := s.Mean(); got != 1110.0/8 {
+		t.Fatalf("mean = %v", got)
+	}
+	if q := s.Quantile(0.5); q != 2 {
+		t.Fatalf("p50 = %d, want 2", q)
+	}
+	if q := s.Quantile(1); q != 1024 {
+		t.Fatalf("p100 = %d, want 1024", q)
+	}
+	if q := s.Quantile(-1); q != 1 {
+		t.Fatalf("clamped p(-1) = %d, want bucket-0 edge 1", q)
+	}
+	var empty HistSnapshot
+	if empty.Mean() != 0 || empty.Quantile(0.9) != 0 {
+		t.Fatal("empty snapshot moments should be zero")
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a := HistSnapshot{Buckets: []int64{1, 2}, Count: 3, Sum: 5}
+	b := HistSnapshot{Buckets: []int64{0, 1, 0, 4}, Count: 5, Sum: 40}
+	a.merge(b)
+	if a.Count != 8 || a.Sum != 45 {
+		t.Fatalf("merged moments = %d/%d", a.Count, a.Sum)
+	}
+	want := []int64{1, 3, 0, 4}
+	if len(a.Buckets) != len(want) {
+		t.Fatalf("merged buckets = %v", a.Buckets)
+	}
+	for i := range want {
+		if a.Buckets[i] != want[i] {
+			t.Fatalf("merged buckets = %v, want %v", a.Buckets, want)
+		}
+	}
+	var empty HistSnapshot
+	empty.merge(HistSnapshot{})
+	if empty.Count != 0 || len(empty.Buckets) != 0 {
+		t.Fatal("empty merge mutated")
+	}
+}
+
+func TestHistBucketEdges(t *testing.T) {
+	cases := map[int64]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for v, want := range cases {
+		if got := histBucket(v); got != want {
+			t.Errorf("histBucket(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestWriteHistograms(t *testing.T) {
+	g := MustNew(Config{Ranks: 1, Stages: 1})
+	g.Rank(0).CountSend(0, 64)
+	g.Rank(0).SpanBetween(KStage, 0, g.Epoch(), g.Epoch().Add(time.Microsecond))
+	var sb strings.Builder
+	g.WriteHistograms(&sb)
+	out := sb.String()
+	for _, want := range []string{"frame sizes", "stage latencies", "n=1", "#"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("histogram dump missing %q:\n%s", want, out)
+		}
+	}
+}

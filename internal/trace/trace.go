@@ -39,13 +39,14 @@ func (k Kind) String() string {
 
 // Event is one recorded frame transfer.
 type Event struct {
-	Kind  Kind
-	Rank  int // the rank that performed the operation
-	Peer  int // the other endpoint
-	Stage int // communication stage (from the transport tag)
-	Words int64
-	Subs  int
-	Seq   int // global sequence number in recording order
+	Kind     Kind
+	Exchange int // exchange namespace the wrapping communicator declared
+	Rank     int // the rank that performed the operation
+	Peer     int // the other endpoint
+	Stage    int // communication stage (from the transport tag)
+	Words    int64
+	Subs     int
+	Seq      int // global sequence number in recording order
 }
 
 // Recorder collects events from any number of wrapped communicators.
@@ -61,9 +62,21 @@ func NewRecorder(maxStages int) *Recorder {
 	return &Recorder{maxStages: maxStages}
 }
 
-// Wrap returns a communicator that records c's traffic into r.
+// Wrap returns a communicator that records c's traffic into r under
+// exchange namespace 0 — the single-exchange case.
 func (r *Recorder) Wrap(c runtime.Comm) runtime.Comm {
-	return &tracedComm{Comm: c, rec: r}
+	return r.WrapExchange(c, 0)
+}
+
+// WrapExchange returns a communicator that records c's traffic into r,
+// stamping every event with the given exchange id. Stage tags are only
+// unique within one exchange (every exchange counts stages from the same
+// tag base), so when one recorder observes several exchanges — concurrent,
+// or sequential without a Reset — the id is the only thing that keeps their
+// stage-0 frames apart. Use a distinct id per logical exchange and filter
+// with ByExchange before verifying.
+func (r *Recorder) WrapExchange(c runtime.Comm, exchange int) runtime.Comm {
+	return &tracedComm{Comm: c, rec: r, exchange: exchange}
 }
 
 // Events returns a copy of the recorded events in recording order.
@@ -71,6 +84,18 @@ func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return append([]Event(nil), r.events...)
+}
+
+// ByExchange filters events down to one exchange namespace, preserving
+// order.
+func ByExchange(events []Event, exchange int) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Exchange == exchange {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // Reset clears the recording.
@@ -89,14 +114,15 @@ func (r *Recorder) record(e Event) {
 
 type tracedComm struct {
 	runtime.Comm
-	rec *Recorder
+	rec      *Recorder
+	exchange int
 }
 
 func (t *tracedComm) Send(to, tag int, payload []byte) error {
 	if stage, ok := core.TagStage(tag, t.rec.maxStages); ok {
 		if m, err := msg.Decode(payload); err == nil && len(m.Subs) > 0 {
 			t.rec.record(Event{
-				Kind: Send, Rank: t.Rank(), Peer: to, Stage: stage,
+				Kind: Send, Exchange: t.exchange, Rank: t.Rank(), Peer: to, Stage: stage,
 				Words: int64(m.PayloadBytes() / 8), Subs: len(m.Subs),
 			})
 		}
@@ -139,7 +165,7 @@ func (t *tracedComm) recordRecv(from, tag int, payload []byte) {
 	if stage, ok := core.TagStage(tag, t.rec.maxStages); ok {
 		if m, derr := msg.Decode(payload); derr == nil && len(m.Subs) > 0 {
 			t.rec.record(Event{
-				Kind: Recv, Rank: t.Rank(), Peer: from, Stage: stage,
+				Kind: Recv, Exchange: t.exchange, Rank: t.Rank(), Peer: from, Stage: stage,
 				Words: int64(m.PayloadBytes() / 8), Subs: len(m.Subs),
 			})
 		}

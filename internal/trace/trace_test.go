@@ -151,6 +151,57 @@ func TestLoadsAndTimeline(t *testing.T) {
 	}
 }
 
+// TestRenderTimelineDeterministic pins the timeline rendering down on a
+// hand-built event stream: per-stage aggregation, the busiest-rank
+// tie-break (lowest rank wins), and that receives never count as load.
+func TestRenderTimelineDeterministic(t *testing.T) {
+	events := []Event{
+		{Kind: Send, Rank: 2, Peer: 0, Stage: 0, Words: 4, Subs: 1},
+		{Kind: Send, Rank: 2, Peer: 1, Stage: 0, Words: 6, Subs: 1},
+		{Kind: Send, Rank: 1, Peer: 0, Stage: 0, Words: 5, Subs: 1},
+		{Kind: Recv, Rank: 0, Peer: 2, Stage: 0, Words: 4, Subs: 1}, // ignored
+		{Kind: Send, Rank: 3, Peer: 0, Stage: 1, Words: 7, Subs: 2},
+		{Kind: Send, Rank: 0, Peer: 3, Stage: 1, Words: 7, Subs: 2}, // tie: rank 0 wins
+	}
+	loads := Loads(events)
+	if len(loads) != 2 {
+		t.Fatalf("loads = %+v", loads)
+	}
+	if loads[0].Stage != 0 || loads[0].Frames != 3 || loads[0].Words != 15 {
+		t.Fatalf("stage 0 load = %+v", loads[0])
+	}
+	if loads[1].Stage != 1 || loads[1].Frames != 2 || loads[1].Words != 14 {
+		t.Fatalf("stage 1 load = %+v", loads[1])
+	}
+
+	var buf bytes.Buffer
+	RenderTimeline(&buf, events, 4)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline has %d lines:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[1], "2 (2 msgs)") {
+		t.Errorf("stage 0 busiest: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "0 (1 msgs)") {
+		t.Errorf("stage 1 tie-break should pick rank 0: %q", lines[2])
+	}
+
+	// No events: header only, no panic.
+	buf.Reset()
+	RenderTimeline(&buf, nil, 4)
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Errorf("empty timeline rendered %d lines", got)
+	}
+
+	// Receive-only stream: same as empty — receives carry no send load.
+	buf.Reset()
+	RenderTimeline(&buf, []Event{{Kind: Recv, Rank: 0, Peer: 1, Stage: 0, Words: 1, Subs: 1}}, 2)
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Errorf("recv-only timeline rendered %d lines", got)
+	}
+}
+
 func TestRecorderReset(t *testing.T) {
 	rec := NewRecorder(2)
 	rec.record(Event{Kind: Send})
@@ -160,6 +211,119 @@ func TestRecorderReset(t *testing.T) {
 	rec.Reset()
 	if len(rec.Events()) != 0 {
 		t.Fatal("reset did not clear")
+	}
+}
+
+// traceWorld builds a random exchange setup and returns what the recorder
+// needs to run it: the topology, plan, send sets, and wrapped comms.
+func traceWorld(t *testing.T, rec *Recorder, exchange int, dims []int, seed int64) (*vpt.Topology, *core.Plan, *core.SendSets, []runtime.Comm) {
+	t.Helper()
+	tp := vpt.MustNew(dims...)
+	K := tp.Size()
+	rng := rand.New(rand.NewSource(seed))
+	sends := core.NewSendSets(K)
+	for i := 0; i < K; i++ {
+		for j := 0; j < 3; j++ {
+			dst := rng.Intn(K)
+			if dst != i {
+				sends.Add(i, dst, int64(1+rng.Intn(4)))
+			}
+		}
+	}
+	if err := sends.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.BuildPlan(tp, sends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := chanpt.NewWorld(K, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := make([]runtime.Comm, K)
+	for i, c := range w.Comms() {
+		wrapped[i] = rec.WrapExchange(c, exchange)
+	}
+	return tp, plan, sends, wrapped
+}
+
+// TestConcurrentExchangesSeparate is the regression test for the recorder
+// misattributing frames when several exchanges share one recorder: their
+// stage tags collide (every exchange counts stages from the same tag base),
+// so before events carried an exchange id the combined recording was
+// unverifiable — stage-d frames of one run were indistinguishable from
+// stage-d frames of the other. With WrapExchange each run verifies cleanly
+// out of the shared recorder.
+func TestConcurrentExchangesSeparate(t *testing.T) {
+	rec := NewRecorder(4)
+	type world struct {
+		tp    *vpt.Topology
+		plan  *core.Plan
+		sends *core.SendSets
+		comms []runtime.Comm
+	}
+	var worlds []world
+	for i, seed := range []int64{23, 29} {
+		tp, plan, sends, comms := traceWorld(t, rec, i+1, []int{4, 4}, seed)
+		worlds = append(worlds, world{tp, plan, sends, comms})
+	}
+
+	errc := make(chan error, len(worlds))
+	for _, w := range worlds {
+		go func(w world) {
+			errc <- runtime.Run(w.comms, func(c runtime.Comm) error {
+				payloads := map[int][]byte{}
+				for _, pr := range w.sends.Sets[c.Rank()] {
+					payloads[pr.Dst] = make([]byte, pr.Words*8)
+				}
+				_, err := core.Exchange(c, w.tp, payloads)
+				return err
+			})
+		}(w)
+	}
+	for range worlds {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	events := rec.Events()
+	for i, w := range worlds {
+		sub := ByExchange(events, i+1)
+		if len(sub) == 0 {
+			t.Fatalf("exchange %d recorded nothing", i+1)
+		}
+		if err := VerifyAgainstPlan(sub, w.plan); err != nil {
+			t.Errorf("exchange %d does not verify in isolation: %v", i+1, err)
+		}
+		for _, e := range sub {
+			if e.Exchange != i+1 {
+				t.Fatalf("ByExchange(%d) leaked event %+v", i+1, e)
+			}
+		}
+	}
+	// The combined stream must NOT verify against either plan — that it
+	// previously could only by luck is exactly the misattribution bug.
+	if err := VerifyAgainstPlan(events, worlds[0].plan); err == nil {
+		t.Error("combined recording verified against one plan; exchanges not separated")
+	}
+	if len(ByExchange(events, 99)) != 0 {
+		t.Error("unknown exchange id matched events")
+	}
+}
+
+// TestWrapDefaultsToExchangeZero keeps the one-exchange API stable: Wrap
+// records under id 0.
+func TestWrapDefaultsToExchangeZero(t *testing.T) {
+	events, plan := runTraced(t, []int{4, 4}, 31)
+	for _, e := range events {
+		if e.Exchange != 0 {
+			t.Fatalf("Wrap recorded exchange %d", e.Exchange)
+		}
+	}
+	if err := VerifyAgainstPlan(ByExchange(events, 0), plan); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"testing"
 
+	"stfw/internal/core"
 	"stfw/internal/partition"
 	"stfw/internal/runtime"
 	"stfw/internal/sparse"
@@ -104,6 +105,12 @@ func startIterBenchWorld(tb testing.TB, s *iterBenchSetup, opt spmv.Options, K i
 	}
 	bw := &iterBenchWorld{step: make([]chan []float64, K), done: make([]chan error, K)}
 	comms := w.Comms()
+	if opt.Telemetry != nil {
+		stages := opt.Telemetry.Stages()
+		opt.Telemetry.WrapComms(comms, func(tag int) (int, bool) {
+			return core.TagStage(tag, stages)
+		})
+	}
 	for r := 0; r < K; r++ {
 		bw.step[r] = make(chan []float64)
 		bw.done[r] = make(chan error)
