@@ -113,14 +113,19 @@ type slotLoc struct {
 	frame, off int32
 }
 
-// Compile specializes the learned pattern into a Replay under fixed
-// payload sizes: destination dst's payload is always the float64s
-// x[gather[dst][0]], x[gather[dst][1]], ... read from the x slice passed to
-// Run. gather must cover exactly the learned destinations, and each list's
-// byte size (8 per index) must equal the learning run's payload size for
-// that destination; every payload routed through this rank must be
-// word-sized. The gather lists are retained by the Replay and must not be
-// mutated afterwards.
+// Compile lowers the learned StageSchedule (Persistent.Schedule — the same
+// IR the stage machine executes in Run) into a Replay, under the added
+// assumption of fixed payload sizes: destination dst's payload is always
+// the float64s x[gather[dst][0]], x[gather[dst][1]], ... read from the x
+// slice passed to Run. The lowering keeps the schedule's stage skeleton —
+// tags, send slots in send order, inbound sender sets — and specializes
+// every slot into precomputed byte offsets: frame templates replace
+// encoding, memcpys replace the store, and halo offsets replace the
+// delivery map. gather must cover exactly the learned destinations, and
+// each list's byte size (8 per index) must equal the learning run's
+// payload size for that destination; every payload routed through this
+// rank must be word-sized. The gather lists are retained by the Replay and
+// must not be mutated afterwards.
 //
 // Deliveries are scattered into Run's halo slice in the learned delivery
 // order (sorted by source rank), one contiguous word block per source.
@@ -170,29 +175,33 @@ func (p *Persistent) Compile(xlen int, gather map[int][]int32) (*Replay, error) 
 	inLoc := make(map[slotKey]slotLoc)
 	nextFrame := int32(0)
 	maxNbrs := 0
-	r.stages = make([]rStage, p.topo.N())
+	sched := p.Schedule()
+	r.stages = make([]rStage, len(sched.Stages))
 	for d := range r.stages {
 		st := &r.stages[d]
-		st.tag = StageTag(d)
+		ss := &sched.Stages[d]
+		st.tag = ss.Tag
 
-		// Outgoing frames, learning send order, empty frames included.
-		st.frames = make([]rFrame, 0, len(p.nbrFrames[d]))
-		for _, nf := range p.nbrFrames[d] {
+		// Outgoing frames follow the schedule's send slots (learning send
+		// order, empty frames included); each slot's learned wire layout
+		// becomes a pre-encoded template.
+		st.frames = make([]rFrame, 0, len(ss.Sends))
+		for j, slot := range ss.Sends {
 			var slots []slotKey
-			if nf.f != nil {
+			if nf := p.nbrFrames[d][j]; nf.f != nil {
 				slots = nf.f.slots
 			}
-			f, err := p.compileFrame(me, nf.to, slots, gather, inLoc)
+			f, err := p.compileFrame(me, slot.To, slots, gather, inLoc)
 			if err != nil {
-				return nil, fmt.Errorf("core: compile: stage %d frame to %d: %w", d, nf.to, err)
+				return nil, fmt.Errorf("core: compile: stage %d frame to %d: %w", d, slot.To, err)
 			}
 			st.frames = append(st.frames, f)
 		}
 
 		// Inbound frames: register forwarded slots for later stages and
 		// bind deliveries to their frame regions.
-		st.delivers = make([][]deliverOp, len(p.inFrom[d]))
-		for j, from := range p.inFrom[d] {
+		st.delivers = make([][]deliverOp, len(ss.RecvFrom))
+		for j, from := range ss.RecvFrom {
 			slots := p.inLayout[d][j]
 			st.recvFrom = append(st.recvFrom, from)
 			st.inIdx = append(st.inIdx, nextFrame)

@@ -317,3 +317,305 @@ func TestConformanceDirect(t *testing.T) {
 		})
 	}
 }
+
+// forceOrdered hides the transport's arrival-order matcher: RecvAnyOf
+// reports ErrNoRecvAny, so runtime.RecvAnyOf degrades to fixed-order
+// targeted receives. The Replay conformance cells use it to pin the compiled
+// engine's receive order without a dedicated engine option, while frame
+// ownership (SendRetains) still reflects the underlying transport.
+type forceOrdered struct{ runtime.Comm }
+
+func (f forceOrdered) RecvAnyOf(tag int, from []int) (int, []byte, error) {
+	return -1, nil, runtime.ErrNoRecvAny
+}
+
+func (f forceOrdered) SendRetains() bool { return runtime.SendRetains(f.Comm) }
+
+func forceOrderedComms(comms []runtime.Comm) []runtime.Comm {
+	out := make([]runtime.Comm, len(comms))
+	for i, c := range comms {
+		out[i] = forceOrdered{c}
+	}
+	return out
+}
+
+// confRoundPayload derives a per-round payload of the same length as
+// confPayload(src, dst): replay rounds ship fresh bytes through the learned
+// pattern, proving the replay moves data rather than echoing the learning
+// run.
+func confRoundPayload(src, dst, round int) []byte {
+	b := confPayload(src, dst)
+	for i := range b {
+		b[i] += byte(round * 101)
+	}
+	return b
+}
+
+// persistentConformanceTopologies is the (smaller) shape set of the
+// Persistent/Replay conformance cells: each cell runs a learning exchange
+// plus multiple replays, so the suite trades a few large shapes for rounds.
+func persistentConformanceTopologies(t *testing.T, tcp bool) []*vpt.Topology {
+	t.Helper()
+	var tps []*vpt.Topology
+	for _, K := range []int{8, 16} {
+		for n := 1; n <= vpt.MaxDim(K); n++ {
+			tp, err := vpt.NewBalanced(K, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tps = append(tps, tp)
+		}
+	}
+	tp, err := vpt.NewFactored(12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tps = append(tps, tp)
+	if !tcp {
+		tp, err := vpt.NewBalanced(64, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tps = append(tps, tp)
+	}
+	return tps
+}
+
+// runPersistentConformance learns the pattern once per rank, then replays it
+// twice with fresh per-round payloads, checking every round's deliveries
+// byte-for-byte against the independently computed reference (the same
+// ground truth the seed ordered engine is checked against).
+func runPersistentConformance(t *testing.T, comms []runtime.Comm, tp *vpt.Topology, dests map[int][]int, opts ...core.ExchangeOpt) {
+	t.Helper()
+	K := len(comms)
+	const rounds = 2
+	got := make([][][]msg.Submessage, rounds+1) // round 0 = learning run
+	for r := range got {
+		got[r] = make([][]msg.Submessage, K)
+	}
+	err := runtime.Run(comms, func(c runtime.Comm) error {
+		me := c.Rank()
+		payloads := map[int][]byte{}
+		for _, dst := range dests[me] {
+			payloads[dst] = confRoundPayload(me, dst, 0)
+		}
+		p, d, err := core.NewPersistent(c, tp, payloads)
+		if err != nil {
+			return err
+		}
+		got[0][me] = d.Subs
+		for r := 1; r <= rounds; r++ {
+			for _, dst := range dests[me] {
+				payloads[dst] = confRoundPayload(me, dst, r)
+			}
+			d, err := p.Run(c, payloads, opts...)
+			if err != nil {
+				return err
+			}
+			got[r][me] = d.Subs
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r <= rounds; r++ {
+		for q := 0; q < K; q++ {
+			var ref []msg.Submessage
+			for src := 0; src < K; src++ {
+				for _, dst := range dests[src] {
+					if dst == q {
+						ref = append(ref, msg.Submessage{Src: src, Dst: q, Data: confRoundPayload(src, q, r)})
+					}
+				}
+			}
+			if len(got[r][q]) != len(ref) {
+				t.Fatalf("round %d rank %d: %d deliveries, want %d", r, q, len(got[r][q]), len(ref))
+			}
+			for i, sub := range got[r][q] {
+				w := ref[i]
+				if sub.Src != w.Src || sub.Dst != w.Dst || !bytes.Equal(sub.Data, w.Data) {
+					t.Fatalf("round %d rank %d delivery %d: got (%d->%d, %x), want (%d->%d, %x)",
+						r, q, i, sub.Src, sub.Dst, sub.Data, w.Src, w.Dst, w.Data)
+				}
+			}
+		}
+	}
+}
+
+// TestConformancePersistent checks the learned-schedule front-end on both
+// transports under both receive disciplines: every replay's deliveries are
+// bit-identical to the reference the seed ordered engine is held to.
+func TestConformancePersistent(t *testing.T) {
+	for _, transport := range []string{"chanpt", "tcpnet"} {
+		for _, tp := range persistentConformanceTopologies(t, transport == "tcpnet") {
+			if transport == "tcpnet" && testing.Short() && tp.Size() > 8 {
+				continue
+			}
+			for _, ordered := range []bool{false, true} {
+				tp := tp
+				ordered := ordered
+				transport := transport
+				t.Run(fmt.Sprintf("%s/K=%d/dims=%v/%s", transport, tp.Size(), tp.Dims(), engineName(ordered)), func(t *testing.T) {
+					var comms []runtime.Comm
+					if transport == "chanpt" {
+						t.Parallel()
+						w, err := chanpt.NewWorld(tp.Size(), 2)
+						if err != nil {
+							t.Fatal(err)
+						}
+						comms = w.Comms()
+					} else {
+						w, err := tcpnet.NewWorld(tp.Size())
+						if err != nil {
+							t.Fatal(err)
+						}
+						defer w.Close()
+						comms = w.Comms()
+					}
+					dests := confSendSets(int64(tp.Size()), tp.Size())
+					var opts []core.ExchangeOpt
+					if ordered {
+						opts = append(opts, core.Ordered())
+					}
+					runPersistentConformance(t, comms, tp, dests, opts...)
+				})
+			}
+		}
+	}
+}
+
+// confWords is the word count of the compiled-replay payload src ships to
+// dst; same variety as confPayload's byte lengths.
+func confWords(src, dst int) int { return 1 + (src*31+dst*7)%45 }
+
+const confXLen = 256
+
+// confGather builds rank src's gather lists: one index list per destination,
+// deterministic so the reference halo is computable without executing.
+func confGather(src int, dests []int) map[int][]int32 {
+	g := make(map[int][]int32, len(dests))
+	for _, dst := range dests {
+		idx := make([]int32, confWords(src, dst))
+		for i := range idx {
+			idx[i] = int32((dst*13 + i*7) % confXLen)
+		}
+		g[dst] = idx
+	}
+	return g
+}
+
+// confX is rank src's local vector for compiled-replay rounds.
+func confX(src, round int) []float64 {
+	x := make([]float64, confXLen)
+	for i := range x {
+		x[i] = float64(src*confXLen+i) + float64(round)*0.25
+	}
+	return x
+}
+
+// runReplayConformance compiles the learned pattern on every rank and runs
+// two compiled iterations, checking each halo float-for-float against the
+// reference (delivery blocks sorted by source, gathered from the sender's
+// local vector).
+func runReplayConformance(t *testing.T, comms []runtime.Comm, tp *vpt.Topology, dests map[int][]int) {
+	t.Helper()
+	K := len(comms)
+	const rounds = 2
+	halos := make([][][]float64, rounds)
+	for r := range halos {
+		halos[r] = make([][]float64, K)
+	}
+	err := runtime.Run(comms, func(c runtime.Comm) error {
+		me := c.Rank()
+		gather := confGather(me, dests[me])
+		payloads := make(map[int][]byte, len(gather))
+		for dst, idx := range gather {
+			payloads[dst] = make([]byte, 8*len(idx))
+		}
+		p, _, err := core.NewPersistent(c, tp, payloads)
+		if err != nil {
+			return err
+		}
+		rep, err := p.Compile(confXLen, gather)
+		if err != nil {
+			return err
+		}
+		halo := make([]float64, rep.HaloWords())
+		for r := 0; r < rounds; r++ {
+			if err := rep.Run(c, confX(me, r), halo); err != nil {
+				return err
+			}
+			halos[r][me] = append([]float64(nil), halo...)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rounds; r++ {
+		for q := 0; q < K; q++ {
+			var ref []float64
+			for src := 0; src < K; src++ {
+				for _, dst := range dests[src] {
+					if dst != q {
+						continue
+					}
+					x := confX(src, r)
+					for _, g := range confGather(src, dests[src])[q] {
+						ref = append(ref, x[g])
+					}
+				}
+			}
+			if len(halos[r][q]) != len(ref) {
+				t.Fatalf("round %d rank %d: halo has %d words, want %d", r, q, len(halos[r][q]), len(ref))
+			}
+			for i := range ref {
+				if halos[r][q][i] != ref[i] {
+					t.Fatalf("round %d rank %d halo[%d] = %v, want %v", r, q, i, halos[r][q][i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestConformanceReplay checks the compiled lowering of the learned schedule
+// on both transports, in arrival order and (via forceOrdered) in fixed
+// receive order: the halos must match the reference exactly in every round.
+func TestConformanceReplay(t *testing.T) {
+	for _, transport := range []string{"chanpt", "tcpnet"} {
+		for _, tp := range persistentConformanceTopologies(t, transport == "tcpnet") {
+			if transport == "tcpnet" && testing.Short() && tp.Size() > 8 {
+				continue
+			}
+			for _, ordered := range []bool{false, true} {
+				tp := tp
+				ordered := ordered
+				transport := transport
+				t.Run(fmt.Sprintf("%s/K=%d/dims=%v/%s", transport, tp.Size(), tp.Dims(), engineName(ordered)), func(t *testing.T) {
+					var comms []runtime.Comm
+					if transport == "chanpt" {
+						t.Parallel()
+						w, err := chanpt.NewWorld(tp.Size(), 2)
+						if err != nil {
+							t.Fatal(err)
+						}
+						comms = w.Comms()
+					} else {
+						w, err := tcpnet.NewWorld(tp.Size())
+						if err != nil {
+							t.Fatal(err)
+						}
+						defer w.Close()
+						comms = w.Comms()
+					}
+					if ordered {
+						comms = forceOrderedComms(comms)
+					}
+					dests := confSendSets(int64(tp.Size()), tp.Size())
+					runReplayConformance(t, comms, tp, dests)
+				})
+			}
+		}
+	}
+}

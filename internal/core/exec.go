@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"time"
+	"sort"
 
 	"stfw/internal/msg"
 	"stfw/internal/runtime"
@@ -38,8 +38,8 @@ func TagStage(tag, maxStages int) (int, bool) {
 	return 0, false
 }
 
-// ExchangeOpt configures an Exchange or DirectExchange call. All ranks of a
-// collective call must pass the same options.
+// ExchangeOpt configures an Exchange, DirectExchange, or Persistent.Run
+// call. All ranks of a collective call must pass the same options.
 type ExchangeOpt func(*exchangeOptions)
 
 type exchangeOptions struct {
@@ -49,18 +49,20 @@ type exchangeOptions struct {
 	tele    *telemetry.Rank
 }
 
-// Ordered selects the legacy stage engine: sends issued inline from the
-// main loop (one fresh frame copy each) and frames received in fixed
-// neighbor order. The paper-reproduction experiments use it to stay
-// bit-identical with the original executor; the default engine is the
-// pipelined one.
+// Ordered selects the stage machine's legacy discipline: sends issued
+// inline from the main loop (one fresh frame copy each) and frames received
+// in fixed neighbor order. The paper-reproduction experiments use it to
+// stay bit-identical with the original executor; the default discipline is
+// the pipelined one.
 func Ordered() ExchangeOpt { return func(o *exchangeOptions) { o.ordered = true } }
 
-// WithPlan pre-sizes the rank's forward buffers from the static plan's
-// exact per-frame occupancy (the submessages of the stage-d frame this rank
-// sends to a neighbor are exactly the final contents of the corresponding
-// buffer). The plan must have been built for the topology and send sets
-// being executed; a plan for a different topology is ignored.
+// WithPlan switches Exchange onto the plan-driven schedule front-end: the
+// per-rank StageSchedule is derived once from the static plan's route
+// entries (and cached inside the Plan), and its exact per-frame occupancy
+// pre-sizes the rank's forward buffers, so repeated planned exchanges skip
+// both per-call schedule construction and append growth. The plan must have
+// been built for the topology being executed; a plan for a different
+// topology is ignored.
 func WithPlan(p *Plan) ExchangeOpt { return func(o *exchangeOptions) { o.plan = p } }
 
 // WithStageProbe installs an observer invoked once per completed stage with
@@ -76,8 +78,8 @@ func WithStageProbe(f func(stage, residentPayloadBytes int)) ExchangeOpt {
 // records one stage-scoped span per communication stage and counts the
 // submessages it stores and forwards. Frame-level send/recv counters come
 // from wrapping the communicator (telemetry.Registry.WrapComm), which works
-// for both engines without their cooperation; this option adds the parts
-// only the engine can see. A nil collector is a no-op.
+// without the engine's cooperation; this option adds the parts only the
+// engine can see. A nil collector is a no-op.
 func WithTelemetry(t *telemetry.Rank) ExchangeOpt {
 	return func(o *exchangeOptions) { o.tele = t }
 }
@@ -94,10 +96,13 @@ func WithTelemetry(t *telemetry.Rank) ExchangeOpt {
 // metrics ignore empty frames, and so does the Plan this call is validated
 // against.
 //
-// By default the pipelined stage engine runs: a worker goroutine issues the
+// Exchange is the dynamic front-end of the stage machine: it builds a
+// StageSchedule from the topology alone (or takes the plan-derived one via
+// WithPlan) and routes each submessage as frames land. By default the
+// machine runs its pipelined discipline — a worker goroutine issues the
 // stage's sends from pooled frame buffers while the main loop receives
 // frames in arrival order (runtime.RecvAnyOf), scattering each as it lands.
-// Ordered() restores the legacy fixed-order engine.
+// Ordered() restores the legacy fixed-order discipline.
 //
 // Exchange is collective: every rank of the communicator must call it with
 // the same topology and options.
@@ -111,8 +116,18 @@ func Exchange(c runtime.Comm, t *vpt.Topology, payloads map[int][]byte, opts ...
 		return nil, fmt.Errorf("core: topology size %d != communicator size %d", t.Size(), c.Size())
 	}
 	fb := msg.NewForwardBuffers(t.Dims())
+	var sched *StageSchedule
 	if opt.plan != nil && opt.plan.Topo.Equal(t) {
-		reservePlanOccupancy(fb, t, opt.plan, me)
+		sched = opt.plan.scheduleFor(me)
+		for d := range sched.Stages {
+			for _, s := range sched.Stages[d].Sends {
+				if s.Reserve > 0 {
+					fb.Reserve(d, t.Digit(s.To, d), s.Reserve)
+				}
+			}
+		}
+	} else {
+		sched = buildTopologySchedule(t, me)
 	}
 	out := &Delivered{}
 
@@ -130,262 +145,38 @@ func Exchange(c runtime.Comm, t *vpt.Topology, payloads map[int][]byte, opts ...
 		fb.Put(d, t.Digit(dst, d), msg.Submessage{Src: me, Dst: dst, Data: data})
 	}
 
-	if opt.ordered {
-		return exchangeOrdered(c, t, me, fb, out, &opt)
+	sm := &stageMachine{
+		sched:   sched,
+		ordered: opt.ordered,
+		tele:    opt.tele,
+		// Lines 9-12: each outbound frame drains the forward buffer keyed by
+		// the destination's dimension-d digit.
+		outSubs: func(d, _ int, slot SendSlot) ([]msg.Submessage, error) {
+			return fb.Take(d, t.Digit(slot.To, d)), nil
+		},
+		// Lines 13-17: scatter received submessages into later-stage buffers
+		// or deliver them.
+		onFrame: func(d, _ int, subs []msg.Submessage) (int, error) {
+			return scatterFrame(t, me, d, fb, out, subs, opt.tele)
+		},
+		finish: func(pooled bool) error {
+			if left := fb.SubCount(); left != 0 {
+				return fmt.Errorf("core: rank %d: %d submessages left undelivered", me, left)
+			}
+			msg.SortSubs(out.Subs)
+			if pooled {
+				msg.CompactSubs(out.Subs)
+			}
+			return nil
+		},
 	}
-	return exchangePipelined(c, t, me, fb, out, &opt)
-}
-
-// reservePlanOccupancy pre-sizes the rank's forward buffers with the exact
-// submessage counts of the plan's frames: buffer fwbuf[d][x] is emptied
-// into the single stage-d frame sent to the neighbor with digit x, so that
-// frame's Subs count is the buffer's peak occupancy.
-func reservePlanOccupancy(fb *msg.ForwardBuffers, t *vpt.Topology, p *Plan, me int) {
-	for d, stage := range p.Stages {
-		if d >= t.N() {
-			return
-		}
-		for _, f := range stage {
-			if f.From == me {
-				fb.Reserve(d, t.Digit(f.To, d), f.Subs)
-			}
-		}
+	if opt.probe != nil {
+		sm.onStage = func(d, delivered int) { opt.probe(d, fb.PayloadBytes()+delivered) }
 	}
-}
-
-// exchangeOrdered is the legacy engine, kept verbatim (modulo the probe
-// hook) so paper-reproduction experiments execute exactly as before:
-// serial sends with a fresh copy per frame, then receives in fixed
-// neighbor order.
-func exchangeOrdered(c runtime.Comm, t *vpt.Topology, me int, fb *msg.ForwardBuffers, out *Delivered, opt *exchangeOptions) (*Delivered, error) {
-	var encodeBuf []byte
-	var stageStart time.Time
-	if opt.tele != nil {
-		stageStart = time.Now()
-	}
-	for d := 0; d < t.N(); d++ {
-		tag := tagBase + d
-		myDigit := t.Digit(me, d)
-		kd := t.Dim(d)
-
-		// Lines 9-12: send one frame to each neighbor in dimension d. The
-		// frame may be empty; emptiness is cheap on both transports and
-		// makes the number of receives deterministic.
-		for x := 0; x < kd; x++ {
-			if x == myDigit {
-				continue
-			}
-			to := t.WithDigit(me, d, x)
-			m := msg.Message{From: me, To: to, Subs: fb.Take(d, x)}
-			encodeBuf = msg.Encode(encodeBuf[:0], &m)
-			frame := append([]byte(nil), encodeBuf...)
-			if err := c.Send(to, tag, frame); err != nil {
-				return nil, fmt.Errorf("core: rank %d stage %d send to %d: %w", me, d, to, err)
-			}
-		}
-
-		// Lines 13-17: receive one frame from each neighbor and scatter its
-		// submessages into later-stage buffers (or deliver them).
-		stageDelivered := 0
-		for x := 0; x < kd; x++ {
-			if x == myDigit {
-				continue
-			}
-			from := t.WithDigit(me, d, x)
-			raw, err := c.Recv(from, tag)
-			if err != nil {
-				return nil, fmt.Errorf("core: rank %d stage %d recv from %d: %w", me, d, from, err)
-			}
-			m, err := msg.Decode(raw)
-			if err != nil {
-				return nil, fmt.Errorf("core: rank %d stage %d frame from %d: %w", me, d, from, err)
-			}
-			if m.From != from || m.To != me {
-				return nil, fmt.Errorf("core: rank %d stage %d: misrouted frame %d->%d arrived from %d",
-					me, d, m.From, m.To, from)
-			}
-			delivered, err := scatterFrame(t, me, d, fb, out, m.Subs, opt.tele)
-			if err != nil {
-				return nil, err
-			}
-			stageDelivered += delivered
-		}
-		if opt.probe != nil {
-			opt.probe(d, fb.PayloadBytes()+stageDelivered)
-		}
-		if opt.tele != nil {
-			stageStart = opt.tele.SpanMark(telemetry.KStage, d, stageStart)
-		}
-	}
-	if left := fb.SubCount(); left != 0 {
-		return nil, fmt.Errorf("core: rank %d: %d submessages left undelivered", me, left)
-	}
-	msg.SortSubs(out.Subs)
-	return out, nil
-}
-
-// exchangePipelined is the pipelined stage engine: one persistent worker
-// goroutine issues every stage's sends (encoded into pooled frame buffers)
-// while the main loop receives frames in arrival order, scattering each as
-// it lands. Stages need no send/receive barrier on the send side — stage
-// d+1's outgoing frames are complete as soon as stage d's receives are
-// scattered, so the worker drains a FIFO of stage batches and the engine
-// joins it only once, at exchange end. Received frames are retained until
-// the exchange completes — forwarded submessages alias their bytes — then
-// recycled into the frame arena after the delivered payloads are copied
-// out.
-func exchangePipelined(c runtime.Comm, t *vpt.Topology, me int, fb *msg.ForwardBuffers, out *Delivered, opt *exchangeOptions) (*Delivered, error) {
-	nbrs := 0 // Σ (k_d - 1): frames sent (= received) over the whole exchange
-	for d := 0; d < t.N(); d++ {
-		nbrs += t.Dim(d) - 1
-	}
-	retained := make([][]byte, 0, nbrs) // received frames, recycled on return
-	defer func() {
-		for _, b := range retained {
-			msg.PutFrame(b)
-		}
-	}()
-
-	sw := startSendWorker(c, me, t.N())
-	defer sw.join()
-
-	var (
-		decoded    msg.Message // DecodeInto scratch, reused across frames
-		pending    []int
-		frameArr   = make([]stageFrame, 0, nbrs) // backing array for all stages' batches
-		stageStart time.Time
-	)
-	for d := 0; d < t.N(); d++ {
-		tag := tagBase + d
-		myDigit := t.Digit(me, d)
-		kd := t.Dim(d)
-		if opt.tele != nil {
-			stageStart = time.Now()
-		}
-
-		// Drain this stage's buffers in deterministic neighbor order and
-		// hand the batch to the worker (which owns its subslice from then
-		// on; stages use disjoint regions of the shared backing array).
-		outs := frameArr[len(frameArr) : len(frameArr) : len(frameArr)+kd-1]
-		pending = pending[:0]
-		for x := 0; x < kd; x++ {
-			if x == myDigit {
-				continue
-			}
-			to := t.WithDigit(me, d, x)
-			outs = append(outs, stageFrame{to: to, subs: fb.Take(d, x)})
-			pending = append(pending, to)
-		}
-		frameArr = frameArr[:len(frameArr)+len(outs)]
-		sw.enqueue(tag, outs)
-
-		// Receive one frame per neighbor in arrival order; the expected
-		// sender comes from the frame matcher, not loop order.
-		stageDelivered := 0
-		for len(pending) > 0 {
-			from, raw, err := runtime.RecvAnyOf(c, tag, pending)
-			if err != nil {
-				return nil, fmt.Errorf("core: rank %d stage %d recv: %w", me, d, err)
-			}
-			for i, p := range pending {
-				if p == from {
-					pending = append(pending[:i], pending[i+1:]...)
-					break
-				}
-			}
-			retained = append(retained, raw)
-			if err := msg.DecodeInto(&decoded, raw); err != nil {
-				return nil, fmt.Errorf("core: rank %d stage %d frame from %d: %w", me, d, from, err)
-			}
-			if decoded.From != from || decoded.To != me {
-				return nil, fmt.Errorf("core: rank %d stage %d: misrouted frame %d->%d arrived from %d",
-					me, d, decoded.From, decoded.To, from)
-			}
-			delivered, err := scatterFrame(t, me, d, fb, out, decoded.Subs, opt.tele)
-			if err != nil {
-				return nil, err
-			}
-			stageDelivered += delivered
-		}
-		if opt.probe != nil {
-			opt.probe(d, fb.PayloadBytes()+stageDelivered)
-		}
-		if opt.tele != nil {
-			stageStart = opt.tele.SpanMark(telemetry.KStage, d, stageStart)
-		}
-	}
-	if err := sw.join(); err != nil {
+	if err := sm.run(c, me); err != nil {
 		return nil, err
 	}
-	if left := fb.SubCount(); left != 0 {
-		return nil, fmt.Errorf("core: rank %d: %d submessages left undelivered", me, left)
-	}
-	msg.SortSubs(out.Subs)
-	copyDelivered(out)
 	return out, nil
-}
-
-type stageFrame struct {
-	to   int
-	subs []msg.Submessage
-}
-
-type stageBatch struct {
-	tag  int
-	outs []stageFrame
-}
-
-// sendWorker is the per-exchange send goroutine: it drains stage batches in
-// FIFO order, encoding every frame into a pooled buffer and handing it to
-// the transport. On retaining transports the receiving rank recycles the
-// buffer; otherwise the worker does, right after Send returns. After the
-// first send error the worker drains (and drops) remaining batches so the
-// enqueueing side never blocks; join surfaces the error.
-type sendWorker struct {
-	ch     chan stageBatch
-	done   chan struct{}
-	err    error // written by the worker, read after <-done
-	joined bool
-}
-
-func startSendWorker(c runtime.Comm, me, stages int) *sendWorker {
-	sw := &sendWorker{ch: make(chan stageBatch, stages), done: make(chan struct{})}
-	retains := runtime.SendRetains(c)
-	go func() {
-		defer close(sw.done)
-		for batch := range sw.ch {
-			if sw.err != nil {
-				continue
-			}
-			for _, of := range batch.outs {
-				m := msg.Message{From: me, To: of.to, Subs: of.subs}
-				buf := msg.Encode(msg.GetFrameCap(msg.EncodedSize(&m)), &m)
-				err := c.Send(of.to, batch.tag, buf)
-				if !retains {
-					msg.PutFrame(buf)
-				}
-				if err != nil {
-					sw.err = fmt.Errorf("core: rank %d send to %d (tag %d): %w", me, of.to, batch.tag, err)
-					break
-				}
-			}
-		}
-	}()
-	return sw
-}
-
-func (sw *sendWorker) enqueue(tag int, outs []stageFrame) { sw.ch <- stageBatch{tag: tag, outs: outs} }
-
-// join closes the batch queue, waits for the worker to finish, and returns
-// its first error. Safe to call twice (the engine joins on the happy path
-// and again via defer).
-func (sw *sendWorker) join() error {
-	if !sw.joined {
-		sw.joined = true
-		close(sw.ch)
-	}
-	<-sw.done
-	return sw.err
 }
 
 // scatterFrame routes one received frame's submessages: deliveries append
@@ -420,176 +211,66 @@ func scatterFrame(t *vpt.Topology, me, d int, fb *msg.ForwardBuffers, out *Deliv
 	return delivered, nil
 }
 
-// copyDelivered moves the delivered payloads out of the retained (pooled)
-// frame buffers into one contiguous allocation, so the Delivered result
-// stays valid after the frames return to the arena. Self-sent submessages
-// alias caller-owned payloads and would not need the copy, but SortSubs has
-// interleaved them, so all payloads are copied uniformly.
-func copyDelivered(out *Delivered) {
-	total := 0
-	for _, s := range out.Subs {
-		total += len(s.Data)
-	}
-	if total == 0 {
-		return
-	}
-	arena := make([]byte, 0, total)
-	for i := range out.Subs {
-		if len(out.Subs[i].Data) == 0 {
-			continue
-		}
-		start := len(arena)
-		arena = append(arena, out.Subs[i].Data...)
-		out.Subs[i].Data = arena[start:len(arena):len(arena)]
-	}
-}
-
 // DirectExchange is the baseline scheme BL: every rank sends its payloads
 // straight to their destinations and receives from the ranks listed in
 // recvFrom (which the application knows, e.g. from its data distribution;
-// use SendSets.RecvSets or CountExchange to obtain it). Like Exchange it
-// runs the pipelined engine by default — sends from a worker goroutine,
-// receives in arrival order — with Ordered() restoring the legacy serial
-// path.
+// use SendSets.RecvSets or CountExchange to obtain it). It is the stage
+// machine's single-stage front-end — one frame per destination, one
+// expected frame per source — and like Exchange it runs the pipelined
+// discipline by default, with Ordered() restoring the legacy serial path.
 func DirectExchange(c runtime.Comm, payloads map[int][]byte, recvFrom []int, opts ...ExchangeOpt) (*Delivered, error) {
 	var opt exchangeOptions
 	for _, o := range opts {
 		o(&opt)
 	}
 	me := c.Rank()
-	const tag = tagBase - 1
 	out := &Delivered{}
-	var start time.Time
-	if opt.tele != nil {
-		start = time.Now()
-	}
-	var err error
-	if opt.ordered {
-		out, err = directOrdered(c, me, payloads, recvFrom, out)
-	} else {
-		out, err = directPipelined(c, me, payloads, recvFrom, out)
-	}
-	if err == nil && opt.tele != nil {
-		// The baseline is a single-stage schedule; its one span lands on
-		// stage 0, matching TagStage's mapping of the direct tag.
-		opt.tele.SpanSince(telemetry.KStage, 0, start)
-	}
-	return out, err
-}
-
-// directOrdered is the legacy baseline path, kept verbatim.
-func directOrdered(c runtime.Comm, me int, payloads map[int][]byte, recvFrom []int, out *Delivered) (*Delivered, error) {
-	const tag = tagBase - 1
-	for dst, data := range payloads {
-		if dst < 0 || dst >= c.Size() {
-			return nil, fmt.Errorf("core: rank %d: destination %d out of range", me, dst)
-		}
-		if dst == me {
-			out.Subs = append(out.Subs, msg.Submessage{Src: me, Dst: me, Data: data})
-			continue
-		}
-		m := msg.Message{From: me, To: dst, Subs: []msg.Submessage{{Src: me, Dst: dst, Data: data}}}
-		if err := c.Send(dst, tag, msg.Encode(nil, &m)); err != nil {
-			return nil, fmt.Errorf("core: rank %d direct send to %d: %w", me, dst, err)
-		}
-	}
-	for _, from := range recvFrom {
-		if from == me {
-			continue
-		}
-		raw, err := c.Recv(from, tag)
-		if err != nil {
-			return nil, fmt.Errorf("core: rank %d direct recv from %d: %w", me, from, err)
-		}
-		m, err := msg.Decode(raw)
-		if err != nil {
-			return nil, err
-		}
-		if m.From != from || m.To != me || len(m.Subs) != 1 {
-			return nil, fmt.Errorf("core: rank %d: malformed direct frame from %d", me, from)
-		}
-		out.Subs = append(out.Subs, m.Subs[0])
-	}
-	msg.SortSubs(out.Subs)
-	return out, nil
-}
-
-// directPipelined overlaps the baseline's sends and receives: a worker
-// goroutine streams the sends from pooled buffers while the main loop
-// accepts frames from the expected senders in arrival order.
-func directPipelined(c runtime.Comm, me int, payloads map[int][]byte, recvFrom []int, out *Delivered) (*Delivered, error) {
-	const tag = tagBase - 1
+	dests := make([]int, 0, len(payloads))
 	for dst := range payloads {
 		if dst < 0 || dst >= c.Size() {
 			return nil, fmt.Errorf("core: rank %d: destination %d out of range", me, dst)
 		}
+		if dst == me {
+			out.Subs = append(out.Subs, msg.Submessage{Src: me, Dst: me, Data: payloads[me]})
+			continue
+		}
+		dests = append(dests, dst)
 	}
-	if data, ok := payloads[me]; ok {
-		out.Subs = append(out.Subs, msg.Submessage{Src: me, Dst: me, Data: data})
-	}
+	sort.Ints(dests) // deterministic send order (the schedule is ordered data, not map iteration)
 
-	retainsSends := runtime.SendRetains(c)
-	sendDone := make(chan error, 1)
-	go func() {
-		for dst, data := range payloads {
-			if dst == me {
-				continue
-			}
-			m := msg.Message{From: me, To: dst, Subs: []msg.Submessage{{Src: me, Dst: dst, Data: data}}}
-			buf := msg.Encode(msg.GetFrameCap(msg.EncodedSize(&m)), &m)
-			err := c.Send(dst, tag, buf)
-			if !retainsSends {
-				msg.PutFrame(buf)
-			}
-			if err != nil {
-				sendDone <- fmt.Errorf("core: rank %d direct send to %d: %w", me, dst, err)
-				return
-			}
-		}
-		sendDone <- nil
-	}()
-
-	pending := make([]int, 0, len(recvFrom))
-	for _, from := range recvFrom {
-		if from != me {
-			pending = append(pending, from)
-		}
-	}
-	var retained [][]byte
-	defer func() {
-		for _, b := range retained {
-			msg.PutFrame(b)
-		}
-	}()
-	var decoded msg.Message
-	for len(pending) > 0 {
-		from, raw, err := runtime.RecvAnyOf(c, tag, pending)
-		if err != nil {
-			<-sendDone
-			return nil, fmt.Errorf("core: rank %d direct recv: %w", me, err)
-		}
-		for i, p := range pending {
-			if p == from {
-				pending = append(pending[:i], pending[i+1:]...)
-				break
-			}
-		}
-		retained = append(retained, raw)
-		if err := msg.DecodeInto(&decoded, raw); err != nil {
-			<-sendDone
-			return nil, err
-		}
-		if decoded.From != from || decoded.To != me || len(decoded.Subs) != 1 {
-			<-sendDone
-			return nil, fmt.Errorf("core: rank %d: malformed direct frame from %d", me, from)
-		}
-		out.Subs = append(out.Subs, decoded.Subs[0])
-	}
-	if err := <-sendDone; err != nil {
+	// One submessage per outbound frame, backed by a single array so the
+	// send worker can alias slices of it until the exchange ends.
+	subArr := make([]msg.Submessage, 0, len(dests))
+	sched := buildDirectSchedule(me, dests, recvFrom)
+	if err := validateSchedule(sched, me, c.Size()); err != nil {
 		return nil, err
 	}
-	msg.SortSubs(out.Subs)
-	copyDelivered(out)
+	sm := &stageMachine{
+		sched:   sched,
+		ordered: opt.ordered,
+		tele:    opt.tele,
+		outSubs: func(_, _ int, slot SendSlot) ([]msg.Submessage, error) {
+			subArr = append(subArr, msg.Submessage{Src: me, Dst: slot.To, Data: payloads[slot.To]})
+			return subArr[len(subArr)-1:], nil
+		},
+		onFrame: func(_, from int, subs []msg.Submessage) (int, error) {
+			if len(subs) != 1 || subs[0].Src != from || subs[0].Dst != me {
+				return 0, fmt.Errorf("core: rank %d: malformed direct frame from %d", me, from)
+			}
+			out.Subs = append(out.Subs, subs[0])
+			return len(subs[0].Data), nil
+		},
+		finish: func(pooled bool) error {
+			msg.SortSubs(out.Subs)
+			if pooled {
+				msg.CompactSubs(out.Subs)
+			}
+			return nil
+		},
+	}
+	if err := sm.run(c, me); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"stfw/internal/msg"
 	"stfw/internal/runtime"
@@ -21,9 +20,12 @@ import (
 // bytes, skipping all routing decisions and forward-buffer bookkeeping.
 // This mirrors MPI's persistent (neighborhood) collectives.
 //
-// Run replays with map-based payloads of possibly varying sizes; Compile
-// specializes further into a Replay whose iteration is fully indexed
-// (fixed sizes, no maps, no steady-state allocation).
+// Both the learning run and the replays execute on the same stage machine
+// as Exchange: learning is the dynamic schedule front-end with a recorder
+// attached, and Run is the learned schedule front-end (see Schedule). Run
+// replays with map-based payloads of possibly varying sizes; Compile
+// lowers the learned schedule further into a Replay whose iteration is
+// fully indexed (fixed sizes, no maps, no steady-state allocation).
 //
 // A Persistent is owned by one rank and is not safe for concurrent use.
 type Persistent struct {
@@ -33,8 +35,9 @@ type Persistent struct {
 	layout [][]pFrame
 	// nbrFrames[d][j] pairs the j-th dimension-d neighbor (fixed learning
 	// send order) with its learned nonempty frame, nil when the frame to
-	// that neighbor is empty. Precomputed once so replays do not rebuild a
-	// per-stage map on every call.
+	// that neighbor is empty, plus a reusable submessage scratch sized to
+	// the frame. Precomputed once so replays neither rebuild a per-stage
+	// map nor allocate per-frame submessage slices.
 	nbrFrames [][]nbrFrame
 	// deliver lists the (src, dst) ranks whose payloads end up at this
 	// rank, in the order Exchange returns them (sorted by src, then dst).
@@ -50,14 +53,18 @@ type Persistent struct {
 	// every compiled iteration.
 	sizes map[slotKey]int
 	// inLayout[d][j] lists the slots of the frame received from the j-th
-	// dimension-d neighbor (inFrom[d][j]), in wire order. Compile uses it
-	// to turn receives into precomputed offset copies.
+	// dimension-d neighbor (inFrom[d][j]), in wire order. Run validates
+	// every inbound frame against it; Compile uses it to turn receives
+	// into precomputed offset copies.
 	inLayout [][][]slotKey
 	// inFrom[d] lists the dimension-d neighbors in learning receive order.
 	inFrom [][]int
-	// store is the legacy replay's payload staging table, hoisted out of
-	// Run so repeated replays reuse one map (cleared, not reallocated).
+	// store is the replay's payload staging table, hoisted out of Run so
+	// repeated replays reuse one map (cleared, not reallocated).
 	store map[slotKey][]byte
+	// sched is the learned StageSchedule, built lazily from the recorded
+	// pattern and executed by every Run.
+	sched *StageSchedule
 	// tele, when set, records one stage-scoped span per Run stage.
 	tele *telemetry.Rank
 }
@@ -74,13 +81,17 @@ type pFrame struct {
 }
 
 type nbrFrame struct {
-	to int
-	f  *pFrame // nil: send an empty frame to keep receive counts deterministic
+	to   int
+	f    *pFrame          // nil: send an empty frame to keep receive counts deterministic
+	subs []msg.Submessage // replay scratch, len(f.slots); nil when f is nil
 }
 
 // NewPersistent performs the learning run: it executes the exchange for
 // payloads and returns the deliveries along with a Persistent that can
-// replay the same pattern. It is collective, like Exchange.
+// replay the same pattern. The learning run rides the stage machine's
+// ordered discipline — deterministic send and receive order makes the
+// recorded layout reproducible — with recording hooks layered over the
+// dynamic router. It is collective, like Exchange.
 func NewPersistent(c runtime.Comm, t *vpt.Topology, payloads map[int][]byte) (*Persistent, *Delivered, error) {
 	me := c.Rank()
 	if t.Size() != c.Size() {
@@ -116,68 +127,42 @@ func NewPersistent(c runtime.Comm, t *vpt.Topology, payloads map[int][]byte) (*P
 		fb.Put(d, t.Digit(dst, d), msg.Submessage{Src: me, Dst: dst, Data: data})
 	}
 
-	var encodeBuf []byte
-	for d := 0; d < t.N(); d++ {
-		tag := StageTag(d)
-		myDigit := t.Digit(me, d)
-		for x := 0; x < t.Dim(d); x++ {
-			if x == myDigit {
-				continue
-			}
-			to := t.WithDigit(me, d, x)
-			subs := fb.Take(d, x)
+	sm := &stageMachine{
+		sched:   buildTopologySchedule(t, me),
+		ordered: true,
+		outSubs: func(d, _ int, slot SendSlot) ([]msg.Submessage, error) {
+			subs := fb.Take(d, t.Digit(slot.To, d))
 			if len(subs) > 0 {
-				frame := pFrame{to: to, slots: make([]slotKey, len(subs))}
+				frame := pFrame{to: slot.To, slots: make([]slotKey, len(subs))}
 				for i, s := range subs {
 					frame.slots[i] = slotKey{src: int32(s.Src), dst: int32(s.Dst)}
 				}
 				p.layout[d] = append(p.layout[d], frame)
 			}
-			m := msg.Message{From: me, To: to, Subs: subs}
-			encodeBuf = msg.Encode(encodeBuf[:0], &m)
-			if err := c.Send(to, tag, append([]byte(nil), encodeBuf...)); err != nil {
-				return nil, nil, fmt.Errorf("core: rank %d stage %d send to %d: %w", me, d, to, err)
-			}
-		}
-		for x := 0; x < t.Dim(d); x++ {
-			if x == myDigit {
-				continue
-			}
-			from := t.WithDigit(me, d, x)
-			raw, err := c.Recv(from, tag)
-			if err != nil {
-				return nil, nil, fmt.Errorf("core: rank %d stage %d recv from %d: %w", me, d, from, err)
-			}
-			m, err := msg.Decode(raw)
-			if err != nil {
-				return nil, nil, fmt.Errorf("core: rank %d stage %d frame from %d: %w", me, d, from, err)
-			}
-			if m.From != from || m.To != me {
-				return nil, nil, fmt.Errorf("core: rank %d stage %d: misrouted frame %d->%d from %d", me, d, m.From, m.To, from)
-			}
-			inSlots := make([]slotKey, len(m.Subs))
-			for i, sub := range m.Subs {
+			return subs, nil
+		},
+		onFrame: func(d, from int, subs []msg.Submessage) (int, error) {
+			inSlots := make([]slotKey, len(subs))
+			for i, sub := range subs {
 				k := slotKey{src: int32(sub.Src), dst: int32(sub.Dst)}
 				inSlots[i] = k
 				p.sizes[k] = len(sub.Data)
-				if sub.Dst == me {
-					out.Subs = append(out.Subs, sub)
-					continue
-				}
-				c2 := t.NextDiff(me, sub.Dst, d)
-				if c2 < 0 {
-					return nil, nil, fmt.Errorf("core: rank %d stage %d: submessage for %d cannot be forwarded", me, d, sub.Dst)
-				}
-				fb.Put(c2, t.Digit(sub.Dst, c2), sub)
 			}
 			p.inFrom[d] = append(p.inFrom[d], from)
 			p.inLayout[d] = append(p.inLayout[d], inSlots)
-		}
+			return scatterFrame(t, me, d, fb, out, subs, nil)
+		},
+		finish: func(bool) error {
+			if left := fb.SubCount(); left != 0 {
+				return fmt.Errorf("core: rank %d: %d submessages left undelivered", me, left)
+			}
+			msg.SortSubs(out.Subs)
+			return nil
+		},
 	}
-	if left := fb.SubCount(); left != 0 {
-		return nil, nil, fmt.Errorf("core: rank %d: %d submessages left undelivered", me, left)
+	if err := sm.run(c, me); err != nil {
+		return nil, nil, err
 	}
-	msg.SortSubs(out.Subs)
 	for _, s := range out.Subs {
 		p.deliver = append(p.deliver, slotKey{src: int32(s.Src), dst: int32(s.Dst)})
 	}
@@ -187,8 +172,9 @@ func NewPersistent(c runtime.Comm, t *vpt.Topology, payloads map[int][]byte) (*P
 
 // indexNeighborFrames builds nbrFrames from the learned layout: per stage,
 // the fixed neighbor send order annotated with the nonempty frame sent to
-// each neighbor (or nil). Replays iterate this slice instead of rebuilding
-// a destination-keyed map per call.
+// each neighbor (or nil) and a reusable submessage scratch for it. Replays
+// iterate this slice instead of rebuilding a destination-keyed map — and
+// fill the scratch instead of allocating — per call.
 func (p *Persistent) indexNeighborFrames() {
 	t := p.topo
 	me := p.rank
@@ -204,6 +190,7 @@ func (p *Persistent) indexNeighborFrames() {
 			for i := range p.layout[d] {
 				if p.layout[d][i].to == nf.to {
 					nf.f = &p.layout[d][i]
+					nf.subs = make([]msg.Submessage, len(nf.f.slots))
 					break
 				}
 			}
@@ -213,12 +200,63 @@ func (p *Persistent) indexNeighborFrames() {
 	}
 }
 
+// Schedule returns the learned StageSchedule — the IR every Run executes
+// and Compile lowers. Send slots follow the learning send order with the
+// learned frame occupancy; the inbound sender sets are the learning run's.
+// The schedule is cached inside the Persistent and must be treated as
+// read-only.
+func (p *Persistent) Schedule() *StageSchedule {
+	if p.sched != nil {
+		return p.sched
+	}
+	t := p.topo
+	sched := &StageSchedule{Stages: make([]ScheduleStage, t.N())}
+	for d := 0; d < t.N(); d++ {
+		st := &sched.Stages[d]
+		st.Tag = StageTag(d)
+		st.Sends = make([]SendSlot, len(p.nbrFrames[d]))
+		for j, nf := range p.nbrFrames[d] {
+			reserve := 0
+			if nf.f != nil {
+				reserve = len(nf.f.slots)
+			}
+			st.Sends[j] = SendSlot{To: nf.to, Reserve: reserve}
+		}
+		st.RecvFrom = p.inFrom[d]
+	}
+	p.sched = sched
+	return sched
+}
+
+// learnedInSlots returns the learned wire layout of the frame the given
+// stage receives from the given sender.
+func (p *Persistent) learnedInSlots(d, from int) ([]slotKey, bool) {
+	for j, f := range p.inFrom[d] {
+		if f == from {
+			return p.inLayout[d][j], true
+		}
+	}
+	return nil, false
+}
+
 // Run replays the learned pattern with new payload bytes. The destination
 // set must equal the learning run's exactly (payload sizes may differ). It
 // is collective: every rank of the original world must call Run the same
-// number of times. For fixed payload sizes, the compiled Replay (see
-// Compile) iterates strictly faster.
-func (p *Persistent) Run(c runtime.Comm, payloads map[int][]byte) (*Delivered, error) {
+// number of times, with the same options. For fixed payload sizes, the
+// compiled Replay (see Compile) iterates strictly faster.
+//
+// Run is the learned-schedule front-end of the stage machine, so by
+// default an iteration gets the pipelined discipline: sends stream from a
+// worker goroutine through pooled frame buffers (no per-frame copies), and
+// inbound frames are served in arrival order. Every inbound submessage is
+// validated against the learned slot layout of its frame; a frame whose
+// slots deviate from the pattern is rejected rather than silently staged.
+// Ordered() restores the learning run's serial discipline.
+func (p *Persistent) Run(c runtime.Comm, payloads map[int][]byte, opts ...ExchangeOpt) (*Delivered, error) {
+	var opt exchangeOptions
+	for _, o := range opts {
+		o(&opt)
+	}
 	me := p.rank
 	if c.Rank() != me || c.Size() != p.topo.Size() {
 		return nil, fmt.Errorf("core: persistent exchange bound to rank %d of %d", me, p.topo.Size())
@@ -245,65 +283,81 @@ func (p *Persistent) Run(c runtime.Comm, payloads map[int][]byte) (*Delivered, e
 		store[slotKey{src: int32(me), dst: int32(dst)}] = data
 	}
 
-	var encodeBuf []byte
-	var stageStart time.Time
-	if p.tele != nil {
-		stageStart = time.Now()
+	tele := p.tele
+	if opt.tele != nil {
+		tele = opt.tele
 	}
-	t := p.topo
-	for d := 0; d < t.N(); d++ {
-		tag := StageTag(d)
-		myDigit := t.Digit(me, d)
-		// Send the learned nonempty frames plus empty frames to the other
-		// dimension-d neighbors (receive counts stay deterministic).
-		for _, nf := range p.nbrFrames[d] {
-			m := msg.Message{From: me, To: nf.to}
-			if nf.f != nil {
-				m.Subs = make([]msg.Submessage, len(nf.f.slots))
-				for i, k := range nf.f.slots {
-					data, ok := store[k]
-					if !ok {
-						return nil, fmt.Errorf("core: rank %d stage %d: missing payload %d->%d for learned slot",
-							me, d, k.src, k.dst)
-					}
-					m.Subs[i] = msg.Submessage{Src: int(k.src), Dst: int(k.dst), Data: data}
-					delete(store, k)
+	out := &Delivered{}
+	sm := &stageMachine{
+		sched:   p.Schedule(),
+		ordered: opt.ordered,
+		// A replay's frames are precomputed slot fills — too cheap to be
+		// worth a worker handoff per stage — so issue the pooled sends
+		// inline and keep the pipelining on the receive side.
+		inlineSend: true,
+		tele:       tele,
+		// Fill the learned frame's slot list from the store; slots are
+		// consumed (deleted) so a payload forwarded in a later stage cannot
+		// be sent twice.
+		outSubs: func(d, j int, _ SendSlot) ([]msg.Submessage, error) {
+			nf := &p.nbrFrames[d][j]
+			if nf.f == nil {
+				return nil, nil
+			}
+			for i, k := range nf.f.slots {
+				data, ok := store[k]
+				if !ok {
+					return nil, fmt.Errorf("core: rank %d stage %d: missing payload %d->%d for learned slot",
+						me, d, k.src, k.dst)
+				}
+				nf.subs[i] = msg.Submessage{Src: int(k.src), Dst: int(k.dst), Data: data}
+				delete(store, k)
+			}
+			return nf.subs, nil
+		},
+		// Stage every inbound submessage, but only after checking it against
+		// the learned wire layout: a replayed pattern is a contract, and a
+		// frame that deviates from it is a routing fault, not new data.
+		onFrame: func(d, from int, subs []msg.Submessage) (int, error) {
+			slots, ok := p.learnedInSlots(d, from)
+			if !ok {
+				return 0, fmt.Errorf("core: rank %d stage %d: frame from %d not in the learned pattern", me, d, from)
+			}
+			if len(subs) != len(slots) {
+				return 0, fmt.Errorf("core: rank %d stage %d: frame from %d carries %d submessages, learned layout has %d",
+					me, d, from, len(subs), len(slots))
+			}
+			delivered := 0
+			for i, sub := range subs {
+				k := slotKey{src: int32(sub.Src), dst: int32(sub.Dst)}
+				if k != slots[i] {
+					return 0, fmt.Errorf("core: rank %d stage %d: misrouted submessage %d->%d in frame from %d (learned slot %d->%d)",
+						me, d, sub.Src, sub.Dst, from, slots[i].src, slots[i].dst)
+				}
+				store[k] = sub.Data
+				if sub.Dst == me {
+					delivered += len(sub.Data)
 				}
 			}
-			encodeBuf = msg.Encode(encodeBuf[:0], &m)
-			if err := c.Send(nf.to, tag, append([]byte(nil), encodeBuf...)); err != nil {
-				return nil, fmt.Errorf("core: rank %d stage %d send to %d: %w", me, d, nf.to, err)
+			return delivered, nil
+		},
+		finish: func(pooled bool) error {
+			out.Subs = make([]msg.Submessage, len(p.deliver))
+			for i, k := range p.deliver {
+				data, ok := store[k]
+				if !ok {
+					return fmt.Errorf("core: rank %d: learned delivery %d->%d did not arrive", me, k.src, k.dst)
+				}
+				out.Subs[i] = msg.Submessage{Src: int(k.src), Dst: int(k.dst), Data: data}
 			}
-		}
-		for x := 0; x < t.Dim(d); x++ {
-			if x == myDigit {
-				continue
+			if pooled {
+				msg.CompactSubs(out.Subs)
 			}
-			from := t.WithDigit(me, d, x)
-			raw, err := c.Recv(from, tag)
-			if err != nil {
-				return nil, fmt.Errorf("core: rank %d stage %d recv from %d: %w", me, d, from, err)
-			}
-			m, err := msg.Decode(raw)
-			if err != nil {
-				return nil, fmt.Errorf("core: rank %d stage %d frame from %d: %w", me, d, from, err)
-			}
-			for _, sub := range m.Subs {
-				store[slotKey{src: int32(sub.Src), dst: int32(sub.Dst)}] = sub.Data
-			}
-		}
-		if p.tele != nil {
-			stageStart = p.tele.SpanMark(telemetry.KStage, d, stageStart)
-		}
+			return nil
+		},
 	}
-
-	out := &Delivered{Subs: make([]msg.Submessage, len(p.deliver))}
-	for i, k := range p.deliver {
-		data, ok := store[k]
-		if !ok {
-			return nil, fmt.Errorf("core: rank %d: learned delivery %d->%d did not arrive", me, k.src, k.dst)
-		}
-		out.Subs[i] = msg.Submessage{Src: int(k.src), Dst: int(k.dst), Data: data}
+	if err := sm.run(c, me); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -141,6 +141,30 @@ func SortSubs(subs []Submessage) {
 	})
 }
 
+// CompactSubs copies every submessage payload into one fresh contiguous
+// arena, rebinding Data in place. Engines that deliver payloads aliasing
+// pooled (recyclable) frame buffers call it before releasing the frames, so
+// the delivered result outlives the arena buffers it was decoded from. One
+// allocation regardless of submessage count.
+func CompactSubs(subs []Submessage) {
+	total := 0
+	for _, s := range subs {
+		total += len(s.Data)
+	}
+	if total == 0 {
+		return
+	}
+	arena := make([]byte, 0, total)
+	for i := range subs {
+		if len(subs[i].Data) == 0 {
+			continue
+		}
+		start := len(arena)
+		arena = append(arena, subs[i].Data...)
+		subs[i].Data = arena[start:len(arena):len(arena)]
+	}
+}
+
 // Validate performs basic sanity checks on a frame against a world size.
 func (m *Message) Validate(worldSize int) error {
 	if m.From < 0 || m.From >= worldSize || m.To < 0 || m.To >= worldSize {

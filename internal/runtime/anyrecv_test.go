@@ -1,111 +1,15 @@
-package runtime
+package runtime_test
 
 import (
-	"fmt"
 	"testing"
+
+	"stfw/internal/transport/tptest"
 )
 
-// recvOnlyComm is a plain Comm without arrival-order support; RecvAnyOf
-// must fall back to a targeted Recv on the first candidate.
-type recvOnlyComm struct {
-	fakeComm
-	recvCalls []int
-}
-
-func (r *recvOnlyComm) Recv(from, tag int) ([]byte, error) {
-	r.recvCalls = append(r.recvCalls, from)
-	return []byte(fmt.Sprintf("%d/%d", from, tag)), nil
-}
-
-func TestRecvAnyOfFallsBackToFixedOrder(t *testing.T) {
-	c := &recvOnlyComm{fakeComm: fakeComm{rank: 0, size: 4}}
-	from, payload, err := RecvAnyOf(c, 9, []int{2, 3})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if from != 2 || string(payload) != "2/9" {
-		t.Fatalf("fallback matched from=%d payload=%q, want targeted Recv(2, 9)", from, payload)
-	}
-	if len(c.recvCalls) != 1 || c.recvCalls[0] != 2 {
-		t.Fatalf("fallback issued %v, want a single Recv from the first candidate", c.recvCalls)
-	}
-}
-
-// optOutComm advertises AnyReceiver but reports ErrNoRecvAny (the conforming
-// answer for a wrapper whose inner transport lacks a matcher); the helper
-// must then fall back, not surface the sentinel.
-type optOutComm struct {
-	recvOnlyComm
-	anyCalls int
-}
-
-func (o *optOutComm) RecvAnyOf(tag int, from []int) (int, []byte, error) {
-	o.anyCalls++
-	return -1, nil, ErrNoRecvAny
-}
-
-func TestRecvAnyOfSentinelTriggersFallback(t *testing.T) {
-	c := &optOutComm{recvOnlyComm: recvOnlyComm{fakeComm: fakeComm{rank: 0, size: 4}}}
-	from, _, err := RecvAnyOf(c, 5, []int{3, 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if c.anyCalls != 1 {
-		t.Fatalf("native matcher consulted %d times, want 1", c.anyCalls)
-	}
-	if from != 3 || len(c.recvCalls) != 1 || c.recvCalls[0] != 3 {
-		t.Fatalf("fallback not taken: from=%d recvCalls=%v", from, c.recvCalls)
-	}
-}
-
-// nativeComm has a working matcher; the helper must use it directly.
-type nativeComm struct {
-	recvOnlyComm
-}
-
-func (n *nativeComm) RecvAnyOf(tag int, from []int) (int, []byte, error) {
-	last := from[len(from)-1]
-	return last, []byte("native"), nil
-}
-
-func TestRecvAnyOfUsesNativeMatcher(t *testing.T) {
-	c := &nativeComm{recvOnlyComm: recvOnlyComm{fakeComm: fakeComm{rank: 0, size: 4}}}
-	from, payload, err := RecvAnyOf(c, 5, []int{1, 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if from != 2 || string(payload) != "native" {
-		t.Fatalf("native matcher bypassed: from=%d payload=%q", from, payload)
-	}
-	if len(c.recvCalls) != 0 {
-		t.Fatalf("fallback Recv issued despite native matcher: %v", c.recvCalls)
-	}
-}
-
-func TestRecvAnyOfRejectsEmptyCandidates(t *testing.T) {
-	c := &recvOnlyComm{fakeComm: fakeComm{rank: 0, size: 4}}
-	if _, _, err := RecvAnyOf(c, 1, nil); err == nil {
-		t.Fatal("empty candidate list accepted")
-	}
-}
-
-// retainComm opts out of buffer retention; plain comms default to retain
-// (the safe assumption for unknown transports).
-type retainComm struct {
-	fakeComm
-	retains bool
-}
-
-func (r *retainComm) SendRetains() bool { return r.retains }
-
-func TestSendRetainsDefaultsAndPassthrough(t *testing.T) {
-	if !SendRetains(&fakeComm{}) {
-		t.Error("unknown transports must default to retaining sends")
-	}
-	if SendRetains(&retainComm{retains: false}) {
-		t.Error("SendRetainer answer not forwarded")
-	}
-	if !SendRetains(&retainComm{retains: true}) {
-		t.Error("SendRetainer answer not forwarded")
-	}
+// TestRecvAnyOfHelperSemantics delegates to the shared harness
+// (internal/transport/tptest): fallback to fixed-order receives on plain
+// Comms, fallback on the ErrNoRecvAny sentinel, native matcher passthrough,
+// empty-candidate rejection, and the SendRetains retain-by-default rule.
+func TestRecvAnyOfHelperSemantics(t *testing.T) {
+	tptest.RunHelperSemantics(t)
 }

@@ -174,7 +174,11 @@ func (s *Session) spanPhases(t0, t1, t2, t3 time.Time) {
 }
 
 // multiplySeed is the original map-based path, kept as the differential
-// baseline (Options.Uncompiled) and as the STFW learning iteration.
+// baseline (Options.Uncompiled) and as the STFW learning iteration. It is
+// not frozen at seed behavior: its exchanges ride the same core stage
+// machine as everything else (DESIGN.md §8), so steady-state Persistent.Run
+// replays here get arrival-order receives and pooled zero-copy frames —
+// only the map staging and the per-value byte codec remain uncompiled.
 func (s *Session) multiplySeed(x []float64) ([]float64, error) {
 	me := s.c.Rank()
 	t0 := time.Now()

@@ -299,9 +299,11 @@ func (t *Rank) SpanSince(k Kind, stage int, start time.Time) {
 
 // SpanMark records a span covering [prev, now) and returns now, letting
 // back-to-back phases share a single clock read per boundary — the end of
-// one phase is the start of the next. This is the hot-path form: engines
-// thread one mark through their phase sequence instead of reading the
-// clock twice at every transition.
+// one phase is the start of the next. This is the hot-path form, and the
+// core stage machine's single instrumentation seam: every exchange
+// front-end (dynamic, plan-driven, learned, compiled) threads one mark
+// through its per-stage phase sequence instead of reading the clock twice
+// at every transition.
 func (t *Rank) SpanMark(k Kind, stage int, prev time.Time) time.Time {
 	if t == nil {
 		return prev

@@ -4,115 +4,24 @@ import (
 	"testing"
 
 	"stfw/internal/runtime"
+	"stfw/internal/transport/tptest"
 )
 
-// RecvAnyOf must hand out the earliest-arrived deliverable frame, in the
-// order senders appended them — not in candidate-list order.
-func TestRecvAnyOfArrivalOrder(t *testing.T) {
-	w, err := NewWorld(3, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	comms := w.Comms()
-	// Receiver is rank 0; enqueue from rank 2 first, then rank 1.
-	if err := comms[2].Send(0, 7, []byte("from2")); err != nil {
-		t.Fatal(err)
-	}
-	if err := comms[1].Send(0, 7, []byte("from1")); err != nil {
-		t.Fatal(err)
-	}
-	from, payload, err := runtime.RecvAnyOf(comms[0], 7, []int{1, 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if from != 2 || string(payload) != "from2" {
-		t.Fatalf("first match: from=%d payload=%q, want rank 2 (earliest arrival)", from, payload)
-	}
-	from, payload, err = runtime.RecvAnyOf(comms[0], 7, []int{1, 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if from != 1 || string(payload) != "from1" {
-		t.Fatalf("second match: from=%d payload=%q", from, payload)
-	}
-}
-
-// Frames from ranks outside the candidate set must stay queued even when
-// they arrived first — they belong to a different logical receive (e.g. the
-// next exchange reusing the same stage tag).
-func TestRecvAnyOfSenderFilter(t *testing.T) {
-	w, err := NewWorld(3, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	comms := w.Comms()
-	if err := comms[2].Send(0, 7, []byte("early-but-unlisted")); err != nil {
-		t.Fatal(err)
-	}
-	if err := comms[1].Send(0, 7, []byte("listed")); err != nil {
-		t.Fatal(err)
-	}
-	from, payload, err := runtime.RecvAnyOf(comms[0], 7, []int{1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if from != 1 || string(payload) != "listed" {
-		t.Fatalf("got from=%d payload=%q, want the listed sender", from, payload)
-	}
-	// The unlisted frame is still there for a targeted receive.
-	got, err := comms[0].Recv(2, 7)
-	if err != nil || string(got) != "early-but-unlisted" {
-		t.Fatalf("queued frame lost: %q, %v", got, err)
-	}
-}
-
-// Frames with other tags stay queued: a fast neighbor's next-stage frame
-// must not be matched by the current stage's receive.
-func TestRecvAnyOfTagFilter(t *testing.T) {
-	w, err := NewWorld(2, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	comms := w.Comms()
-	if err := comms[1].Send(0, 8, []byte("next-stage")); err != nil {
-		t.Fatal(err)
-	}
-	if err := comms[1].Send(0, 7, []byte("this-stage")); err != nil {
-		t.Fatal(err)
-	}
-	from, payload, err := runtime.RecvAnyOf(comms[0], 7, []int{1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if from != 1 || string(payload) != "this-stage" {
-		t.Fatalf("got %q from %d, want the tag-7 frame", payload, from)
-	}
-	got, err := comms[0].Recv(1, 8)
-	if err != nil || string(got) != "next-stage" {
-		t.Fatalf("tag-8 frame lost: %q, %v", got, err)
-	}
-}
-
-func TestRecvAnyOfRejectsEmptyAndOutOfRange(t *testing.T) {
-	w, err := NewWorld(2, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	c := w.Comms()[0].(*comm)
-	if _, _, err := c.RecvAnyOf(1, nil); err == nil {
-		t.Error("empty candidate list accepted")
-	}
-	if _, _, err := c.RecvAnyOf(1, []int{5}); err == nil {
-		t.Error("out-of-range candidate accepted")
-	}
-}
-
-func TestChanptSendRetains(t *testing.T) {
-	w, err := NewWorld(2, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !runtime.SendRetains(w.Comms()[0]) {
-		t.Error("chanpt hands payloads off zero-copy; SendRetains must be true")
-	}
+// TestTransportConformance runs the shared matcher-contract suite
+// (internal/transport/tptest) over the in-process channel transport.
+// chanpt's matcher is deterministic — Send enqueues immediately in program
+// order — so the strict arrival-order subtest applies, and payloads are
+// handed to the receiver zero-copy (SendRetains true).
+func TestTransportConformance(t *testing.T) {
+	tptest.Run(t, func(size int) ([]runtime.Comm, func(), error) {
+		w, err := NewWorld(size, 4)
+		if err != nil {
+			return nil, nil, err
+		}
+		return w.Comms(), nil, nil
+	}, tptest.Options{
+		WantSendRetains:    true,
+		StrictArrivalOrder: true,
+		TestOutOfRange:     true,
+	})
 }

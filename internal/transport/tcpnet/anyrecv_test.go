@@ -4,93 +4,23 @@ import (
 	"testing"
 
 	"stfw/internal/runtime"
+	"stfw/internal/transport/tptest"
 )
 
-// RecvAnyOf over TCP: a frame from a rank outside the candidate set stays
-// queued (regardless of network interleaving), and targeted receives can
-// pick it up afterwards.
-func TestRecvAnyOfOverTCP(t *testing.T) {
-	w, err := NewWorld(3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer w.Close()
-	comms := w.Comms()
-	if err := comms[2].Send(0, 7, []byte("unlisted")); err != nil {
-		t.Fatal(err)
-	}
-	if err := comms[1].Send(0, 7, []byte("listed")); err != nil {
-		t.Fatal(err)
-	}
-	from, payload, err := runtime.RecvAnyOf(comms[0], 7, []int{1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if from != 1 || string(payload) != "listed" {
-		t.Fatalf("got from=%d payload=%q, want the listed sender", from, payload)
-	}
-	got, err := comms[0].Recv(2, 7)
-	if err != nil || string(got) != "unlisted" {
-		t.Fatalf("queued frame lost: %q, %v", got, err)
-	}
-}
-
-// RecvAnyOf must match any of several pending candidates and drain them
-// all, whatever order the connections delivered them in.
-func TestRecvAnyOfDrainsAllCandidates(t *testing.T) {
-	w, err := NewWorld(4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer w.Close()
-	comms := w.Comms()
-	for _, r := range []int{1, 2, 3} {
-		if err := comms[r].Send(0, 9, []byte{byte(r)}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	pending := map[int]bool{1: true, 2: true, 3: true}
-	for len(pending) > 0 {
-		from, payload, err := runtime.RecvAnyOf(comms[0], 9, []int{1, 2, 3})
+// TestTransportConformance runs the shared matcher-contract suite
+// (internal/transport/tptest) over the TCP transport. Network interleaving
+// makes cross-connection arrival order nondeterministic, so the strict
+// arrival-order subtest is skipped; Close must wake blocked receivers, and
+// payloads are serialized before Send returns (SendRetains false).
+func TestTransportConformance(t *testing.T) {
+	tptest.Run(t, func(size int) ([]runtime.Comm, func(), error) {
+		w, err := NewWorld(size)
 		if err != nil {
-			t.Fatal(err)
+			return nil, nil, err
 		}
-		if !pending[from] {
-			t.Fatalf("sender %d matched twice or unexpected", from)
-		}
-		if len(payload) != 1 || payload[0] != byte(from) {
-			t.Fatalf("payload %x does not match sender %d", payload, from)
-		}
-		delete(pending, from)
-	}
-}
-
-// A closed world must wake a blocked RecvAnyOf with an error rather than
-// leaving it waiting forever.
-func TestRecvAnyOfAfterCloseFails(t *testing.T) {
-	w, err := NewWorld(2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	c := w.Comms()[0]
-	done := make(chan error, 1)
-	go func() {
-		_, _, err := runtime.RecvAnyOf(c, 3, []int{1})
-		done <- err
-	}()
-	w.Close()
-	if err := <-done; err == nil {
-		t.Fatal("RecvAnyOf returned nil after world close")
-	}
-}
-
-func TestTCPSendRetainsFalse(t *testing.T) {
-	w, err := NewWorld(2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer w.Close()
-	if runtime.SendRetains(w.Comms()[0]) {
-		t.Error("tcpnet serializes before Send returns; SendRetains must be false")
-	}
+		return w.Comms(), func() { w.Close() }, nil
+	}, tptest.Options{
+		WantSendRetains: false,
+		TestClose:       true,
+	})
 }

@@ -1,0 +1,226 @@
+package stfw
+
+// BenchmarkPersistentIteration measures one steady-state Persistent.Run
+// iteration — every rank replays the learned store-and-forward pattern with
+// fresh payload bytes — at K ∈ {64, 256}. This is the map-based replay tier
+// (variable payload sizes); the fully compiled tier is covered by
+// BenchmarkSessionIteration. TestWritePersistentBenchJSON renders the same
+// measurement into BENCH_persistent.json when BENCH_PERSISTENT_JSON names an
+// output path.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"stfw/internal/core"
+	"stfw/internal/runtime"
+	"stfw/internal/transport/chanpt"
+	"stfw/internal/vpt"
+)
+
+type persistentBenchCase struct {
+	K, dim int
+}
+
+func persistentBenchCases() []persistentBenchCase {
+	return []persistentBenchCase{{K: 64, dim: 3}, {K: 256, dim: 4}}
+}
+
+// persistentBenchPayloads builds the per-rank destination payload maps of a
+// seeded irregular pattern: every rank sends 16..128-word payloads to a
+// handful of random destinations (plus two hot-spot ranks with near-complete
+// send lists, mirroring the conformance suite's shape).
+func persistentBenchPayloads(K int) []map[int][]byte {
+	rng := rand.New(rand.NewSource(int64(K)))
+	out := make([]map[int][]byte, K)
+	for src := range out {
+		out[src] = map[int][]byte{}
+	}
+	addDst := func(src, dst int) {
+		if src == dst {
+			return
+		}
+		words := 16 + rng.Intn(112)
+		buf := make([]byte, 8*words)
+		for i := range buf {
+			buf[i] = byte(src*17 + dst*29 + i)
+		}
+		out[src][dst] = buf
+	}
+	for h := 0; h < 2; h++ {
+		src := rng.Intn(K)
+		for dst := 0; dst < K; dst++ {
+			if rng.Intn(4) != 0 {
+				addDst(src, dst)
+			}
+		}
+	}
+	for src := 0; src < K; src++ {
+		for l := 0; l < 4; l++ {
+			addDst(src, rng.Intn(K))
+		}
+	}
+	return out
+}
+
+// persistentBenchWorld keeps one goroutine per rank alive across benchmark
+// iterations, each holding its learned Persistent, so one "op" is a pure
+// lockstep replay with no goroutine startup or learning in the measured
+// region.
+type persistentBenchWorld struct {
+	step []chan struct{}
+	done []chan error
+}
+
+func startPersistentBenchWorld(tb testing.TB, K, dim int, payloads []map[int][]byte) *persistentBenchWorld {
+	tb.Helper()
+	tp, err := vpt.NewBalanced(K, dim)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	w, err := chanpt.NewWorld(K, 2)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	bw := &persistentBenchWorld{step: make([]chan struct{}, K), done: make([]chan error, K)}
+	comms := w.Comms()
+	for r := 0; r < K; r++ {
+		bw.step[r] = make(chan struct{})
+		bw.done[r] = make(chan error)
+		go func(c runtime.Comm, step chan struct{}, done chan error) {
+			p, _, err := core.NewPersistent(c, tp, payloads[c.Rank()])
+			for range step {
+				if err == nil {
+					_, err = p.Run(c, payloads[c.Rank()])
+				}
+				done <- err
+			}
+		}(comms[r], bw.step[r], bw.done[r])
+	}
+	return bw
+}
+
+func (bw *persistentBenchWorld) iterate() error {
+	for _, ch := range bw.step {
+		ch <- struct{}{}
+	}
+	var first error
+	for _, ch := range bw.done {
+		if err := <-ch; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (bw *persistentBenchWorld) stop() {
+	for _, ch := range bw.step {
+		close(ch)
+	}
+}
+
+func benchPersistentIteration(b *testing.B, K, dim int) {
+	payloads := persistentBenchPayloads(K)
+	bw := startPersistentBenchWorld(b, K, dim, payloads)
+	defer bw.stop()
+	// Warm up pools, matcher queues, and the replay's reused store.
+	for i := 0; i < 2; i++ {
+		if err := bw.iterate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bw.iterate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPersistentIteration(b *testing.B) {
+	for _, c := range persistentBenchCases() {
+		b.Run(fmt.Sprintf("K=%d", c.K), func(b *testing.B) {
+			benchPersistentIteration(b, c.K, c.dim)
+		})
+	}
+}
+
+// TestPersistentRunAllocs gates the replay path's allocation budget: one
+// steady-state lockstep iteration of the K=64 world must stay well under the
+// seed executor's footprint (~2538 allocs/op, dominated by per-frame
+// append([]byte(nil), ...) copies and per-iteration submessage slices). The
+// pooled stage machine runs it at ~600; the threshold leaves headroom for
+// scheduler noise while still failing if per-frame copies ever creep back.
+func TestPersistentRunAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate needs steady-state iterations")
+	}
+	const K, dim = 64, 3
+	payloads := persistentBenchPayloads(K)
+	bw := startPersistentBenchWorld(t, K, dim, payloads)
+	defer bw.stop()
+	for i := 0; i < 2; i++ {
+		if err := bw.iterate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := bw.iterate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 1300 // seed: ~2538; pooled stage machine: ~600
+	if allocs > budget {
+		t.Errorf("persistent world iteration: %.0f allocs/op, budget %d", allocs, budget)
+	}
+	t.Logf("persistent world iteration: %.0f allocs/op (budget %d)", allocs, budget)
+}
+
+// persistentBenchResult is one BENCH_persistent.json entry.
+type persistentBenchResult struct {
+	K           int     `json:"k"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type persistentBenchReport struct {
+	Note    string                  `json:"note"`
+	Results []persistentBenchResult `json:"results"`
+}
+
+// TestWritePersistentBenchJSON measures every BenchmarkPersistentIteration
+// case via testing.Benchmark and writes the report to the path named by
+// BENCH_PERSISTENT_JSON.
+func TestWritePersistentBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_PERSISTENT_JSON")
+	if path == "" {
+		t.Skip("BENCH_PERSISTENT_JSON not set")
+	}
+	report := persistentBenchReport{
+		Note: "one op = all K ranks perform one steady-state Persistent.Run replay over the chanpt transport; allocs_per_op counts the whole world",
+	}
+	for _, c := range persistentBenchCases() {
+		r := testing.Benchmark(func(b *testing.B) {
+			benchPersistentIteration(b, c.K, c.dim)
+		})
+		nsOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		report.Results = append(report.Results, persistentBenchResult{
+			K:           c.K,
+			NsPerOp:     nsOp,
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		t.Logf("K=%d: %.0f ns/op, %d allocs/op (N=%d)", c.K, nsOp, r.AllocsPerOp(), r.N)
+	}
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

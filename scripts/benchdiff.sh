@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# benchdiff.sh BASE.txt HEAD.txt MAX_REGRESS_PCT
+#
+# Compares `go test -bench` outputs: for every benchmark present in both
+# files, the mean ns/op over all -count repetitions is compared, and the
+# script fails if any benchmark's head mean is more than MAX_REGRESS_PCT
+# percent slower than its base mean. Benchmarks present in only one file
+# (added or removed by the change) are reported and skipped.
+#
+# This is deliberately dependency-free (POSIX sh + awk). For a statistically
+# richer report, run benchstat over the same two files; this script is only
+# the red/green gate.
+set -eu
+
+if [ $# -ne 3 ]; then
+    echo "usage: $0 BASE.txt HEAD.txt MAX_REGRESS_PCT" >&2
+    exit 2
+fi
+
+awk -v limit="$3" '
+FNR == 1 { file++ }
+/^Benchmark/ && $3 == "ns/op" || /^Benchmark/ && $4 == "ns/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS suffix
+    ns = ($3 == "ns/op") ? $2 : $3     # tolerate iteration-count column
+    sum[file "|" name] += ns
+    cnt[file "|" name]++
+    names[name] = 1
+}
+END {
+    fail = 0
+    for (n in names) {
+        if (!cnt[1 "|" n]) { printf "NEW      %s (head only, skipped)\n", n; continue }
+        if (!cnt[2 "|" n]) { printf "REMOVED  %s (base only, skipped)\n", n; continue }
+        base = sum[1 "|" n] / cnt[1 "|" n]
+        head = sum[2 "|" n] / cnt[2 "|" n]
+        delta = (head - base) / base * 100
+        status = "ok      "
+        if (delta > limit) { status = "REGRESS "; fail = 1 }
+        printf "%s %-60s base %14.0f ns/op   head %14.0f ns/op   %+7.1f%%\n", status, n, base, head, delta
+    }
+    if (fail) {
+        printf "\nFAIL: at least one benchmark regressed by more than %s%%\n", limit
+        exit 1
+    }
+}' "$1" "$2"

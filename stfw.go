@@ -65,14 +65,18 @@ func MaxTopologyDim(K int) int { return vpt.MaxDim(K) }
 // and WithPlan.
 type ExchangeOpt = core.ExchangeOpt
 
-// Ordered selects the legacy fixed-order stage engine instead of the
-// default pipelined one (sends from a worker goroutine, receives in arrival
-// order). The paper-reproduction experiments use it to stay bit-identical
-// with the original executor.
+// Ordered selects the stage machine's legacy ordered discipline — sends
+// issued inline with one fresh frame copy each, receives in fixed neighbor
+// order — instead of the default pipelined one (pooled frame buffers,
+// receives in arrival order). The paper-reproduction experiments use it to
+// stay bit-identical with the original executor.
 func Ordered() ExchangeOpt { return core.Ordered() }
 
-// WithPlan pre-sizes the exchange's forward buffers from the static plan's
-// exact per-frame occupancy, eliminating buffer growth on the hot path.
+// WithPlan switches the exchange onto the plan-driven schedule front-end:
+// the per-rank stage schedule is derived once from the static plan (and
+// cached inside it), and its exact per-frame occupancy pre-sizes the
+// forward buffers, eliminating both per-call schedule construction and
+// buffer growth on the hot path.
 func WithPlan(p *Plan) ExchangeOpt { return core.WithPlan(p) }
 
 // Exchange performs the store-and-forward exchange (Algorithm 1 of the
@@ -100,9 +104,11 @@ func DiscoverSources(c Comm, dests []int) ([]int, error) {
 }
 
 // Persistent is a reusable exchange for a fixed communication pattern: the
-// learning run records the store-and-forward frame layout, replays skip all
-// routing decisions. Made for iterative applications where the same
-// exchange repeats every step.
+// learning run records the store-and-forward frame layout, replays execute
+// the learned schedule directly and skip all routing decisions (with
+// arrival-order receives and pooled zero-copy frames; see DESIGN.md §8).
+// Made for iterative applications where the same exchange repeats every
+// step.
 type Persistent = core.Persistent
 
 // NewPersistent performs the learning exchange and returns both its
