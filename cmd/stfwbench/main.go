@@ -46,6 +46,7 @@ type benchConfig struct {
 func main() {
 	var cfg benchConfig
 	exp := flag.String("exp", "all", "experiment to run: table1, fig1, table2, fig6, fig7, fig8, fig9, table3, fig10, partitioners, skew, mapping, stencil, live, all")
+	verify := flag.Bool("verify", false, "run the whole-world schedule verifier over the conformance topologies and exit")
 	flag.IntVar(&cfg.Scale, "scale", 8, "matrix shrink factor (1 = full-size structures)")
 	flag.BoolVar(&cfg.telemetry, "telemetry", false, "collect live telemetry (implied by -exp live)")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write a Chrome trace-event JSON of the live run (open in ui.perfetto.dev)")
@@ -53,6 +54,14 @@ func main() {
 	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *verify {
+		if err := runVerify(); err != nil {
+			fmt.Fprintf(os.Stderr, "stfwbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(cfg, *exp); err != nil {
 		fmt.Fprintf(os.Stderr, "stfwbench: %v\n", err)

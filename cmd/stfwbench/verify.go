@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stfw/internal/core"
+	"stfw/internal/runtime"
+	"stfw/internal/transport/chanpt"
+	"stfw/internal/vpt"
+)
+
+// runVerify (-verify) sweeps the whole-world schedule verifier
+// (core.VerifyWorld) over the conformance topology set: for every shape it
+// builds a seeded irregular traffic pattern and checks all four schedule
+// front-ends — dynamic, plan-driven (with submessage conservation against
+// the plan), learned (a real in-process learning exchange over chanpt), and
+// the direct baseline. It prints one line per topology and returns an error
+// if any world fails, making it a command-line regression gate for schedule
+// construction.
+func runVerify() error {
+	tps, err := verifyTopologies()
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, tp := range tps {
+		K := tp.Size()
+		sends := verifySendSets(int64(K), K)
+		if err := verifyOne(tp, sends); err != nil {
+			failed++
+			fmt.Printf("FAIL K=%-3d dims=%v\n      %v\n", K, tp.Dims(), err)
+			continue
+		}
+		fmt.Printf("ok   K=%-3d dims=%v  dynamic+plan+learned+direct\n", K, tp.Dims())
+	}
+	if failed > 0 {
+		return fmt.Errorf("verify: %d of %d topologies failed", failed, len(tps))
+	}
+	fmt.Printf("verify: all %d topologies consistent across all schedule front-ends\n", len(tps))
+	return nil
+}
+
+func verifyTopologies() ([]*vpt.Topology, error) {
+	var tps []*vpt.Topology
+	for _, K := range []int{8, 16, 64} {
+		for n := 1; n <= vpt.MaxDim(K); n++ {
+			tp, err := vpt.NewBalanced(K, n)
+			if err != nil {
+				return nil, err
+			}
+			tps = append(tps, tp)
+		}
+	}
+	for _, c := range []struct{ K, n int }{{12, 2}, {18, 2}, {60, 3}} {
+		tp, err := vpt.NewFactored(c.K, c.n)
+		if err != nil {
+			return nil, err
+		}
+		tps = append(tps, tp)
+	}
+	return tps, nil
+}
+
+// verifySendSets mirrors the conformance suite's seeded pattern: a couple
+// of heavy hot-spot ranks plus light random traffic.
+func verifySendSets(seed int64, K int) *core.SendSets {
+	rng := rand.New(rand.NewSource(seed))
+	s := core.NewSendSets(K)
+	for h := 0; h < 2; h++ {
+		src := rng.Intn(K)
+		for dst := 0; dst < K; dst++ {
+			if dst != src && rng.Intn(4) != 0 {
+				s.Add(src, dst, 1)
+			}
+		}
+	}
+	for src := 0; src < K; src++ {
+		for l := 0; l < 2; l++ {
+			if dst := rng.Intn(K); dst != src {
+				s.Add(src, dst, 1)
+			}
+		}
+	}
+	if err := s.Normalize(); err != nil {
+		panic(err) // seeded generator over valid ranks cannot produce bad sets
+	}
+	return s
+}
+
+func verifyOne(tp *vpt.Topology, sends *core.SendSets) error {
+	if err := core.VerifyWorld(core.WorldSchedules(tp)); err != nil {
+		return fmt.Errorf("dynamic front-end: %w", err)
+	}
+
+	plan, err := core.BuildPlan(tp, sends)
+	if err != nil {
+		return err
+	}
+	if err := core.VerifyWorldAgainstPlan(plan.WorldSchedules(), plan); err != nil {
+		return fmt.Errorf("plan front-end: %w", err)
+	}
+
+	learned, err := learnedSchedules(tp, sends)
+	if err != nil {
+		return err
+	}
+	if err := core.VerifyWorldAgainstPlan(learned, plan); err != nil {
+		return fmt.Errorf("learned front-end: %w", err)
+	}
+
+	dplan, err := core.BuildDirectPlan(sends)
+	if err != nil {
+		return err
+	}
+	if err := core.VerifyWorldAgainstPlan(core.DirectWorldSchedules(sends), dplan); err != nil {
+		return fmt.Errorf("direct front-end: %w", err)
+	}
+	return nil
+}
+
+// learnedSchedules runs a real learning exchange in-process and returns
+// every rank's learned StageSchedule.
+func learnedSchedules(tp *vpt.Topology, sends *core.SendSets) ([]*core.StageSchedule, error) {
+	K := tp.Size()
+	w, err := chanpt.NewWorld(K, 2)
+	if err != nil {
+		return nil, err
+	}
+	scheds := make([]*core.StageSchedule, K)
+	err = runtime.Run(w.Comms(), func(c runtime.Comm) error {
+		me := c.Rank()
+		payloads := map[int][]byte{}
+		for _, pr := range sends.Sets[me] {
+			payloads[pr.Dst] = make([]byte, 8*pr.Words)
+		}
+		p, _, err := core.NewPersistent(c, tp, payloads)
+		if err != nil {
+			return err
+		}
+		scheds[me] = p.Schedule()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return scheds, nil
+}

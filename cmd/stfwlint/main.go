@@ -1,0 +1,81 @@
+// Command stfwlint is the multichecker for the repo's invariant analyzers
+// (internal/analysis): framepool, nilrecv, atomicmix, lockedsend. It loads
+// the packages named by its arguments (go list patterns; default ./...),
+// runs every analyzer, prints surviving diagnostics in file:line:col form,
+// and exits 1 if there were any.
+//
+// Usage:
+//
+//	go run ./cmd/stfwlint ./...
+//	go run ./cmd/stfwlint -only framepool,lockedsend ./internal/core/...
+//
+// Findings are suppressed per line with a //stfw:ignore <analyzer>
+// directive; see internal/analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stfw/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: stfwlint [-only a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "stfwlint: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stfwlint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stfwlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

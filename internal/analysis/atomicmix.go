@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Atomicmix flags struct fields that are accessed through sync/atomic in
+// one place and through plain loads or stores in another. Mixing the two is
+// a data race even when it "works": the plain access is invisible to the
+// race detector's happens-before edges for the atomic side, and on weak
+// memory models the plain read can observe a torn or stale value. A field
+// that is ever touched atomically must be touched atomically everywhere
+// (composite-literal initialization before the value is shared is exempt,
+// matching the sync/atomic documentation).
+var Atomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed via sync/atomic must not be read or written plainly elsewhere",
+	Run:  runAtomicmix,
+}
+
+func runAtomicmix(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Phase 1: collect fields whose address is passed to a sync/atomic
+	// function anywhere in the package.
+	atomicFields := make(map[*types.Var]string) // field -> atomic func name seen
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				if f := selectedField(info, ue.X); f != nil {
+					if _, seen := atomicFields[f]; !seen {
+						atomicFields[f] = fn.Name()
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Phase 2: flag plain accesses to those fields. An access is plain
+	// unless the selector is the operand of & feeding a sync/atomic call.
+	for _, file := range pass.Files {
+		parents := buildParents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			if _, ok := n.(*ast.CompositeLit); ok {
+				return false // initialization before sharing is exempt
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f := selectedField(info, sel)
+			if f == nil {
+				return true
+			}
+			via, isAtomic := atomicFields[f]
+			if !isAtomic || isAtomicOperand(info, parents, sel) {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(), "field %s is accessed with sync/atomic.%s elsewhere; plain access races with it", f.Name(), via)
+			return true
+		})
+	}
+	return nil
+}
+
+// selectedField resolves expr to the struct field it selects, nil when expr
+// is not a field selector.
+func selectedField(info *types.Info, expr ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// isAtomicOperand reports whether the selector is used as &sel inside a
+// sync/atomic call — the sanctioned access shape.
+func isAtomicOperand(info *types.Info, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	p := parents[sel]
+	for {
+		pe, ok := p.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		p = parents[pe]
+	}
+	ue, ok := p.(*ast.UnaryExpr)
+	if !ok {
+		return false
+	}
+	q := parents[ue]
+	for {
+		pe, ok := q.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		q = parents[pe]
+	}
+	call, ok := q.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}

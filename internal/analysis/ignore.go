@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive. The directive names the
+// analyzers it silences:
+//
+//	//stfw:ignore framepool          — one analyzer
+//	//stfw:ignore framepool nilrecv  — several
+//
+// A directive covers the findings of the named analyzers on its own line
+// and on the line immediately below — so it works both as a trailing
+// comment on the flagged line and as a standalone annotation above it.
+// Every directive must name at least one analyzer; a bare //stfw:ignore
+// silences nothing (blanket suppression would hide future analyzers'
+// findings too).
+const ignorePrefix = "//stfw:ignore"
+
+// ignoreIndex maps file name → line → the analyzer names ignored there.
+type ignoreIndex map[string]map[int][]string
+
+// buildIgnoreIndex scans every comment of the files for ignore directives.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	idx := make(ignoreIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				names := strings.Fields(c.Text[len(ignorePrefix):])
+				if len(names) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					idx[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+			}
+		}
+	}
+	return idx
+}
+
+// covers reports whether a directive at the diagnostic's line names the
+// analyzer.
+func (idx ignoreIndex) covers(pos token.Position, analyzer string) bool {
+	lines, ok := idx[pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, name := range lines[pos.Line] {
+		if name == analyzer {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Nilrecv enforces the telemetry package's nil-off contract: a nil
+// *Registry (and everything hanging off it) is the documented way to
+// disable instrumentation, so every exported pointer-receiver method in the
+// telemetry package must begin with a guard of the form
+//
+//	if r == nil { ... return ... }
+//
+// (possibly with further || conditions). Methods that are nil-safe by
+// construction — e.g. they only pass the receiver on to nil-tolerant
+// callees — carry a //stfw:ignore nilrecv annotation instead, which keeps
+// the exception visible at the definition.
+var Nilrecv = &Analyzer{
+	Name: "nilrecv",
+	Doc:  "exported telemetry methods must start with a nil-receiver guard",
+	Run:  runNilrecv,
+}
+
+func runNilrecv(pass *Pass) error {
+	if pass.Pkg.Name() != "telemetry" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !isPointerReceiver(fd) || !exportedReceiverType(fd) {
+				// Unexported receiver types (internal wrappers) are never
+				// handed out nil; only the public handles need the guard.
+				continue
+			}
+			recvName := receiverName(fd)
+			if recvName == "" || recvName == "_" {
+				pass.Reportf(fd.Pos(), "exported method %s has an unnamed receiver and so cannot guard against a nil receiver", fd.Name.Name)
+				continue
+			}
+			if !startsWithNilGuard(fd.Body, recvName) {
+				pass.Reportf(fd.Pos(), "exported method %s must begin with `if %s == nil` (nil telemetry handles disable instrumentation)", fd.Name.Name, recvName)
+			}
+		}
+	}
+	return nil
+}
+
+func receiverName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+func isPointerReceiver(fd *ast.FuncDecl) bool {
+	_, ok := fd.Recv.List[0].Type.(*ast.StarExpr)
+	return ok
+}
+
+// exportedReceiverType reports whether the method's receiver base type is
+// an exported name (e.g. *Registry, not *countedComm).
+func exportedReceiverType(fd *ast.FuncDecl) bool {
+	t := fd.Recv.List[0].Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = ix.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// startsWithNilGuard reports whether the body's first statement is an if
+// whose condition checks the receiver against nil — either exactly
+// `recv == nil` or an || chain containing that comparison.
+func startsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	return condChecksNil(ifs.Cond, recv)
+}
+
+func condChecksNil(cond ast.Expr, recv string) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.LOR:
+		return condChecksNil(be.X, recv) || condChecksNil(be.Y, recv)
+	case token.EQL:
+		return isIdentNamed(be.X, recv) && isNilIdent(be.Y) ||
+			isIdentNamed(be.Y, recv) && isNilIdent(be.X)
+	}
+	return false
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNilIdent(e ast.Expr) bool {
+	return isIdentNamed(e, "nil")
+}

@@ -1,0 +1,45 @@
+// Package atomicmix is the analysistest fixture for the atomicmix
+// analyzer: counters touched through sync/atomic anywhere must be touched
+// through it everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	sends int64 // atomic
+	bytes int64 // atomic
+	plain int64 // never atomic: free to access directly
+}
+
+func (c *counters) countSend(n int) {
+	atomic.AddInt64(&c.sends, 1)
+	atomic.AddInt64(&c.bytes, int64(n))
+	c.plain++
+}
+
+func (c *counters) snapshotAtomic() (int64, int64) {
+	return atomic.LoadInt64(&c.sends), atomic.LoadInt64(&c.bytes)
+}
+
+func (c *counters) badPlainRead() int64 {
+	return c.sends // want "plain access races"
+}
+
+func (c *counters) badPlainWrite() {
+	c.bytes = 0 // want "plain access races"
+}
+
+func (c *counters) okPlainField() int64 {
+	return c.plain
+}
+
+// newCounters shows the initialization exemption: composite literals run
+// before the value is shared.
+func newCounters() *counters {
+	return &counters{sends: 0, bytes: 0, plain: 0}
+}
+
+// waived documents a deliberate single-threaded fast path.
+func (c *counters) waived() int64 {
+	return c.sends //stfw:ignore atomicmix
+}

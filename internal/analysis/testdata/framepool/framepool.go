@@ -1,0 +1,126 @@
+// Package framepool is the analysistest fixture for the framepool
+// analyzer: each function is one positive (flagged, marked with a `want`
+// comment) or negative (clean) ownership scenario. The package is under
+// testdata so `./...` builds and lints skip it; the harness loads it by
+// explicit import path.
+package framepool
+
+import (
+	"stfw/internal/msg"
+)
+
+// comm has the transport Send shape ownership transfers through.
+type comm struct{}
+
+func (comm) Send(to, tag int, payload []byte) error { return nil }
+
+// sink is a cross-package stand-in with a different shape: not a release.
+var sink func([]byte)
+
+// --- negative cases: the canonical disciplines must stay silent ---
+
+func okPutAfterUse(n int) int {
+	buf := msg.GetFrameLen(n)
+	total := 0
+	for _, b := range buf {
+		total += int(b)
+	}
+	msg.PutFrame(buf)
+	return total
+}
+
+func okSendThenConditionalPut(c comm, retains bool, n int) error {
+	buf := msg.GetFrameCap(n)
+	err := c.Send(1, 7, buf)
+	if !retains {
+		msg.PutFrame(buf)
+	}
+	return err
+}
+
+func okMintIntoSend(c comm, m *msg.Message) error {
+	return c.Send(1, 7, msg.Encode(msg.GetFrameCap(msg.EncodedSize(m)), m))
+}
+
+func okReturnTransfersOwnership(n int) []byte {
+	buf := msg.GetFrameLen(n)
+	return buf
+}
+
+func okEscapeIntoStruct(n int) {
+	type frameHolder struct{ b []byte }
+	holders := []frameHolder{{b: msg.GetFrameLen(n)}}
+	_ = holders
+}
+
+func okDeferredPut(n int) int {
+	buf := msg.GetFrameLen(n)
+	defer msg.PutFrame(buf)
+	return len(buf)
+}
+
+func okReleaseInBothBranches(cond bool, n int) {
+	buf := msg.GetFrameLen(n)
+	if cond {
+		msg.PutFrame(buf)
+	} else {
+		msg.PutFrame(buf)
+	}
+}
+
+func okEscapeInCondition(push func([]byte) bool, n int) {
+	buf := msg.GetFrameLen(n)
+	if !push(buf) { // cross-package-shaped hand-off resolves ownership
+		return
+	}
+}
+
+// --- positive cases ---
+
+func badNeverReleased(n int) int {
+	buf := msg.GetFrameLen(n) // want "never released"
+	return len(buf)
+}
+
+func badLeakOnEarlyReturn(fill func() error, n int) error {
+	buf := msg.GetFrameLen(n)
+	if err := fill(); err != nil {
+		return err // want "leaks on this return path"
+	}
+	msg.PutFrame(buf)
+	return nil
+}
+
+func badOneBranchOnly(cond bool, n int) {
+	buf := msg.GetFrameLen(n) // want "not released on every path"
+	if cond {
+		msg.PutFrame(buf)
+	}
+}
+
+func badUseAfterPut(n int) int {
+	buf := msg.GetFrameLen(n)
+	msg.PutFrame(buf)
+	return len(buf) // want "after PutFrame"
+}
+
+func badDoublePut(n int) {
+	buf := msg.GetFrameLen(n)
+	msg.PutFrame(buf)
+	msg.PutFrame(buf) // want "double PutFrame"
+}
+
+func badPutOfFrontReslice(n int) {
+	buf := msg.GetFrameLen(n)
+	msg.PutFrame(buf[4:]) // want "drops the buffer's front"
+}
+
+func badDroppedResult(n int) {
+	_ = msg.GetFrameLen(n) // want "dropped without PutFrame"
+}
+
+// annotated: the directive keeps a deliberate exception quiet.
+func okAnnotatedLeak(n int) int {
+	buf := msg.GetFrameLen(n) //stfw:ignore framepool
+	return len(buf)
+}

@@ -1,0 +1,96 @@
+// Package lockedsend is the analysistest fixture for the lockedsend
+// analyzer: no channel sends or blocking Comm-shaped transport calls while
+// a mutex is held.
+package lockedsend
+
+import "sync"
+
+// comm mirrors the runtime.Comm transport shape.
+type comm struct{}
+
+func (comm) Send(to, tag int, payload []byte) error             { return nil }
+func (comm) Recv(from, tag int) ([]byte, error)                 { return nil, nil }
+func (comm) RecvAnyOf(tag int, from []int) (int, []byte, error) { return 0, nil, nil }
+func (comm) Barrier() error                                     { return nil }
+
+type engine struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan []byte
+	c  comm
+	n  int
+}
+
+// --- negative cases ---
+
+func (e *engine) okSendOutsideLock(b []byte) {
+	e.mu.Lock()
+	e.n++
+	e.mu.Unlock()
+	e.ch <- b
+}
+
+func (e *engine) okCommAfterUnlock(b []byte) error {
+	e.mu.Lock()
+	n := e.n
+	e.mu.Unlock()
+	return e.c.Send(n, 0, b)
+}
+
+func (e *engine) okUnlockedBranch(fast bool, b []byte) {
+	e.mu.Lock()
+	if fast {
+		e.mu.Unlock()
+		e.ch <- b // lock released on this path
+		return
+	}
+	e.mu.Unlock()
+}
+
+func (e *engine) okGoroutineEscapesLock(b []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() {
+		e.ch <- b // runs without the caller's lock
+	}()
+}
+
+// --- positive cases ---
+
+func (e *engine) badSendUnderLock(b []byte) {
+	e.mu.Lock()
+	e.ch <- b // want "channel send while holding e.mu"
+	e.mu.Unlock()
+}
+
+func (e *engine) badSendUnderDeferredUnlock(b []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.c.Send(0, 0, b) // want "Comm.Send while holding e.mu"
+}
+
+func (e *engine) badRecvUnderRLock() ([]byte, error) {
+	e.rw.RLock()
+	defer e.rw.RUnlock()
+	return e.c.Recv(0, 0) // want "Comm.Recv while holding e.rw"
+}
+
+func (e *engine) badBarrierUnderLock() error {
+	e.mu.Lock()
+	err := e.c.Barrier() // want "Comm.Barrier while holding e.mu"
+	e.mu.Unlock()
+	return err
+}
+
+func (e *engine) badRecvAnyOfInSelect(from []int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, _, _ = e.c.RecvAnyOf(0, from) // want "Comm.RecvAnyOf while holding e.mu"
+}
+
+// waived: a documented exception.
+func (e *engine) waivedSend(b []byte) {
+	e.mu.Lock()
+	e.ch <- b //stfw:ignore lockedsend
+	e.mu.Unlock()
+}

@@ -1,0 +1,65 @@
+// Package telemetry is the analysistest fixture for the nilrecv analyzer.
+// The analyzer keys on the package name, so this testdata package shadows
+// the real one's name; the import path keeps them apart.
+package telemetry
+
+// Registry mimics the real telemetry handle: nil disables instrumentation.
+type Registry struct {
+	n int
+}
+
+// Guarded is the required shape.
+func (r *Registry) Guarded() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// GuardedOrChain guards through an || chain.
+func (r *Registry) GuardedOrChain(stage int) int {
+	if r == nil || stage < 0 {
+		return 0
+	}
+	return r.n + stage
+}
+
+// Unguarded dereferences a possibly-nil receiver.
+func (r *Registry) Unguarded() int { // want "must begin with"
+	return r.n
+}
+
+// GuardedLate checks too late: a non-guard first statement means the nil
+// case already slipped past.
+func (r *Registry) GuardedLate() int { // want "must begin with"
+	x := 1
+	if r == nil {
+		return 0
+	}
+	return r.n + x
+}
+
+// Waived is deliberately nil-safe by construction.
+//
+//stfw:ignore nilrecv
+func (r *Registry) Waived() int {
+	return callNilSafe(r)
+}
+
+func callNilSafe(r *Registry) int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// unexportedMethod needs no guard: not part of the public surface.
+func (r *Registry) unexportedMethod() int { return r.n }
+
+// ValueRecv methods can't be called on nil; exempt.
+func (r Registry) ValueRecv() int { return r.n }
+
+// internalHandle is unexported: its methods are exempt.
+type internalHandle struct{ n int }
+
+func (h *internalHandle) Exported() int { return h.n }

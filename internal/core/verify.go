@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"stfw/internal/vpt"
+)
+
+// This file is the whole-world schedule verifier: where validateSchedule
+// (schedule.go) sanity-checks one rank's program in isolation, VerifyWorld
+// cross-checks the programs of all K ranks against each other — the
+// property the stage machine's liveness actually depends on. A world of
+// individually-valid schedules can still deadlock or drop payload if rank a
+// sends a frame rank b never expects, or rank b waits for a frame nobody
+// sends. Tests run it over every schedule front-end (dynamic, plan-driven,
+// learned, direct), and `stfwbench -verify` sweeps it over conformance
+// topologies from the command line.
+
+// maxVerifyErrors bounds how many findings a verification reports before
+// summarizing the rest; a structurally broken world would otherwise produce
+// O(K^2) repetitive errors.
+const maxVerifyErrors = 8
+
+// verifyErrs accumulates findings up to the cap.
+type verifyErrs struct {
+	errs       []error
+	suppressed int
+}
+
+func (v *verifyErrs) addf(format string, args ...any) {
+	if len(v.errs) >= maxVerifyErrors {
+		v.suppressed++
+		return
+	}
+	v.errs = append(v.errs, fmt.Errorf(format, args...))
+}
+
+func (v *verifyErrs) join() error {
+	if v.suppressed > 0 {
+		v.errs = append(v.errs, fmt.Errorf("core: verify: %d further findings suppressed", v.suppressed))
+	}
+	return errors.Join(v.errs...)
+}
+
+// VerifyWorld cross-checks the per-rank schedules of a K-rank world
+// (scheds[r] is rank r's program). It verifies that:
+//
+//   - every rank has the same stage count and per-stage tag (the stage
+//     machines advance in lockstep, keyed by tag);
+//   - every send and receive slot names a valid, non-self rank;
+//   - no stage has duplicate send destinations or duplicate expected
+//     senders on one rank (each neighbor pair exchanges exactly one frame
+//     per stage);
+//   - sends and receives match pairwise: rank a lists b as a stage-d
+//     destination if and only if rank b lists a as a stage-d expected
+//     sender. An unmatched send is a frame the receiver never drains; an
+//     unmatched expected sender (an orphan) blocks the receiver forever.
+//
+// A nil error means the world's programs are mutually consistent; the stage
+// machine can execute them without unmatched traffic in either direction.
+func VerifyWorld(scheds []*StageSchedule) error {
+	var v verifyErrs
+	K := len(scheds)
+	if K == 0 {
+		return errors.New("core: verify: empty world")
+	}
+	for r, s := range scheds {
+		if s == nil {
+			v.addf("core: verify: rank %d has no schedule", r)
+		}
+	}
+	if len(v.errs) > 0 {
+		return v.join()
+	}
+
+	// Lockstep structure: stage counts and tags must agree across ranks.
+	ref := scheds[0]
+	for r, s := range scheds {
+		if len(s.Stages) != len(ref.Stages) {
+			v.addf("core: verify: rank %d has %d stages, rank 0 has %d", r, len(s.Stages), len(ref.Stages))
+			continue
+		}
+		for d := range s.Stages {
+			if s.Stages[d].Tag != ref.Stages[d].Tag {
+				v.addf("core: verify: stage %d: rank %d uses tag %#x, rank 0 uses %#x", d, r, s.Stages[d].Tag, ref.Stages[d].Tag)
+			}
+		}
+	}
+	if len(v.errs) > 0 {
+		return v.join()
+	}
+
+	// Per-rank slot validity and per-stage slot uniqueness.
+	for r, s := range scheds {
+		if err := validateSchedule(s, r, K); err != nil {
+			v.addf("core: verify: rank %d: %v", r, err)
+		}
+		for d := range s.Stages {
+			st := &s.Stages[d]
+			seenTo := make(map[int]bool, len(st.Sends))
+			for _, slot := range st.Sends {
+				if seenTo[slot.To] {
+					v.addf("core: verify: stage %d: rank %d has duplicate send slot to %d", d, r, slot.To)
+				}
+				seenTo[slot.To] = true
+			}
+			seenFrom := make(map[int]bool, len(st.RecvFrom))
+			for _, from := range st.RecvFrom {
+				if seenFrom[from] {
+					v.addf("core: verify: stage %d: rank %d expects duplicate frame from %d", d, r, from)
+				}
+				seenFrom[from] = true
+			}
+		}
+	}
+	if len(v.errs) > 0 {
+		return v.join()
+	}
+
+	// Pairwise matching per stage.
+	for d := range ref.Stages {
+		type pair struct{ from, to int }
+		sends := make(map[pair]bool)
+		recvs := make(map[pair]bool)
+		for r, s := range scheds {
+			for _, slot := range s.Stages[d].Sends {
+				sends[pair{r, slot.To}] = true
+			}
+			for _, from := range s.Stages[d].RecvFrom {
+				recvs[pair{from, r}] = true
+			}
+		}
+		for p := range sends {
+			if !recvs[p] {
+				v.addf("core: verify: stage %d: rank %d sends to %d, which does not expect a frame from it", d, p.from, p.to)
+			}
+		}
+		for p := range recvs {
+			if !sends[p] {
+				v.addf("core: verify: stage %d: rank %d expects a frame from %d, which never sends one (orphan sender)", d, p.to, p.from)
+			}
+		}
+	}
+	return v.join()
+}
+
+// VerifyWorldAgainstPlan runs VerifyWorld and then checks submessage
+// conservation against the plan: per stage, every annotated send slot's
+// Reserve must equal the Subs of the plan's (From, To) frame, every
+// nonempty plan frame must be carried by exactly that slot, and no slot may
+// reserve capacity for a frame the plan does not contain. Together with the
+// plan's own construction invariant (every submessage routed exactly once)
+// this pins the schedules to the plan's exact traffic.
+func VerifyWorldAgainstPlan(scheds []*StageSchedule, p *Plan) error {
+	if err := VerifyWorld(scheds); err != nil {
+		return err
+	}
+	var v verifyErrs
+	if len(scheds[0].Stages) != len(p.Stages) {
+		return fmt.Errorf("core: verify: schedules have %d stages, plan has %d", len(scheds[0].Stages), len(p.Stages))
+	}
+	type pair struct{ from, to int }
+	for d := range p.Stages {
+		want := make(map[pair]int, len(p.Stages[d]))
+		for _, f := range p.Stages[d] {
+			if f.Subs > 0 {
+				want[pair{f.From, f.To}] = f.Subs
+			}
+		}
+		covered := make(map[pair]bool, len(want))
+		for r, s := range scheds {
+			for _, slot := range s.Stages[d].Sends {
+				key := pair{r, slot.To}
+				subs, inPlan := want[key]
+				switch {
+				case slot.Reserve == 0 && inPlan:
+					v.addf("core: verify: stage %d: plan routes %d submessages %d->%d but the schedule slot reserves none", d, subs, r, slot.To)
+				case slot.Reserve != 0 && !inPlan:
+					v.addf("core: verify: stage %d: schedule reserves %d submessages %d->%d, a frame the plan does not contain", d, slot.Reserve, r, slot.To)
+				case slot.Reserve != subs:
+					v.addf("core: verify: stage %d: frame %d->%d reserves %d submessages, plan says %d", d, r, slot.To, slot.Reserve, subs)
+				default:
+					covered[key] = true
+				}
+			}
+		}
+		for key, subs := range want {
+			if !covered[key] {
+				v.addf("core: verify: stage %d: plan frame %d->%d (%d submessages) has no schedule slot", d, key.from, key.to, subs)
+			}
+		}
+	}
+	return v.join()
+}
+
+// WorldSchedules returns the dynamic front-end's schedule for every rank of
+// the topology — the programs Exchange executes when no plan is given.
+func WorldSchedules(t *vpt.Topology) []*StageSchedule {
+	scheds := make([]*StageSchedule, t.Size())
+	for r := range scheds {
+		scheds[r] = buildTopologySchedule(t, r)
+	}
+	return scheds
+}
+
+// WorldSchedules returns the plan-driven schedule for every rank, from the
+// same cache Exchange(WithPlan) uses.
+func (p *Plan) WorldSchedules() []*StageSchedule {
+	scheds := make([]*StageSchedule, p.Topo.Size())
+	for r := range scheds {
+		scheds[r] = p.scheduleFor(r)
+	}
+	return scheds
+}
+
+// DirectWorldSchedules returns the direct-baseline schedule for every rank
+// implied by the send sets: rank r sends one frame to each destination in
+// its (normalized) send set and expects one frame from each source in the
+// transpose — exactly the programs DirectExchange builds at run time.
+func DirectWorldSchedules(s *SendSets) []*StageSchedule {
+	recv := s.RecvSets()
+	scheds := make([]*StageSchedule, s.K)
+	for r := range scheds {
+		dests := make([]int, 0, len(s.Sets[r]))
+		for _, pr := range s.Sets[r] {
+			dests = append(dests, pr.Dst)
+		}
+		from := make([]int, 0, len(recv[r]))
+		for _, pr := range recv[r] {
+			from = append(from, pr.Dst)
+		}
+		scheds[r] = buildDirectSchedule(r, dests, from)
+	}
+	return scheds
+}

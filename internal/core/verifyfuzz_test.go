@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+)
+
+// fuzzWorld decodes an arbitrary byte string into a small world of
+// schedules (K in 2..8, 1..3 stages). The decoder deliberately produces
+// out-of-range ranks, self-sends, duplicate slots, tag skew, and ragged
+// stage counts — the verifier must diagnose all of it without panicking.
+func fuzzWorld(data []byte) []*StageSchedule {
+	i := 0
+	next := func() int {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[i%len(data)]
+		i++
+		return int(b)
+	}
+	K := 2 + next()%7
+	stages := 1 + next()%3
+	scheds := make([]*StageSchedule, K)
+	for r := range scheds {
+		ns := stages
+		if next()%16 == 0 {
+			ns = 1 + next()%3 // ragged stage count
+		}
+		s := &StageSchedule{Stages: make([]ScheduleStage, ns)}
+		for d := range s.Stages {
+			st := &s.Stages[d]
+			st.Tag = StageTag(d)
+			if next()%16 == 0 {
+				st.Tag += 1 + next()%3 // tag skew
+			}
+			for n := next() % 4; n > 0; n-- {
+				st.Sends = append(st.Sends, SendSlot{
+					To:      next()%(K+2) - 1, // allows -1 and K: out of range
+					Reserve: next() % 3,
+				})
+			}
+			for n := next() % 4; n > 0; n-- {
+				st.RecvFrom = append(st.RecvFrom, next()%(K+2)-1)
+			}
+		}
+		scheds[r] = s
+	}
+	return scheds
+}
+
+// coherentFrom rebuilds a well-formed world from the fuzzed one: it keeps
+// each rank's in-range, non-self, deduplicated send slots, unifies tags and
+// stage counts, and derives every RecvFrom set as the exact transpose of
+// the kept sends. By construction such a world is pairwise consistent, so
+// the verifier must accept it — the completeness direction of the fuzz.
+func coherentFrom(scheds []*StageSchedule) []*StageSchedule {
+	K := len(scheds)
+	stages := len(scheds[0].Stages)
+	out := make([]*StageSchedule, K)
+	for r := range out {
+		out[r] = &StageSchedule{Stages: make([]ScheduleStage, stages)}
+		for d := range out[r].Stages {
+			out[r].Stages[d].Tag = StageTag(d)
+		}
+	}
+	for r, s := range scheds {
+		for d := 0; d < stages && d < len(s.Stages); d++ {
+			seen := map[int]bool{}
+			for _, slot := range s.Stages[d].Sends {
+				if slot.To < 0 || slot.To >= K || slot.To == r || seen[slot.To] {
+					continue
+				}
+				seen[slot.To] = true
+				out[r].Stages[d].Sends = append(out[r].Stages[d].Sends, SendSlot{To: slot.To})
+				out[slot.To].Stages[d].RecvFrom = append(out[slot.To].Stages[d].RecvFrom, r)
+			}
+		}
+	}
+	return out
+}
+
+// FuzzVerifyWorld feeds adversarial schedule worlds to the verifier and
+// checks three properties: it never panics, a nil verdict is sound (every
+// send really is matched by a receive expectation and vice versa, all slots
+// in range), and it accepts every world rebuilt into coherent form.
+func FuzzVerifyWorld(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{7, 2, 1, 3, 2, 1, 0, 9, 200, 17})
+	f.Add([]byte{3, 1, 16, 16, 5, 4, 3, 2, 1, 0, 255, 254, 8, 8})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		scheds := fuzzWorld(data)
+		K := len(scheds)
+		for r, s := range scheds {
+			_ = validateSchedule(s, r, K) // must not panic on any input
+		}
+		if err := VerifyWorld(scheds); err == nil {
+			// Soundness: a clean verdict means real pairwise consistency.
+			for r, s := range scheds {
+				for d := range s.Stages {
+					for _, slot := range s.Stages[d].Sends {
+						if slot.To < 0 || slot.To >= K || slot.To == r {
+							t.Fatalf("verified world has invalid send %d->%d in stage %d", r, slot.To, d)
+						}
+						if !contains(scheds[slot.To].Stages[d].RecvFrom, r) {
+							t.Fatalf("verified world: send %d->%d in stage %d has no matching expectation", r, slot.To, d)
+						}
+					}
+					for _, from := range s.Stages[d].RecvFrom {
+						if !sendsTo(scheds, from, r, d) {
+							t.Fatalf("verified world: rank %d expects %d in stage %d but it never sends", r, from, d)
+						}
+					}
+				}
+			}
+		}
+		// Completeness: the coherent rebuild must always verify.
+		if err := VerifyWorld(coherentFrom(scheds)); err != nil {
+			t.Fatalf("coherent world rejected: %v", err)
+		}
+	})
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func sendsTo(scheds []*StageSchedule, from, to, d int) bool {
+	if from < 0 || from >= len(scheds) || d >= len(scheds[from].Stages) {
+		return false
+	}
+	for _, slot := range scheds[from].Stages[d].Sends {
+		if slot.To == to {
+			return true
+		}
+	}
+	return false
+}

@@ -423,8 +423,12 @@ func (g *Registry) Snapshot() Snapshot {
 	return s
 }
 
-// Totals sums a snapshot's counters across ranks and stages.
+// Totals sums a snapshot's counters across ranks and stages. A nil
+// snapshot (disabled telemetry) totals to zero.
 func (s *Snapshot) Totals() CounterSnapshot {
+	if s == nil {
+		return CounterSnapshot{}
+	}
 	var out CounterSnapshot
 	for _, r := range s.Ranks {
 		for _, c := range r.Stages {

@@ -87,6 +87,9 @@ func (g *Registry) WriteTrace(w io.Writer) error {
 
 // WriteTraceFile writes the trace JSON to path (0644).
 func (g *Registry) WriteTraceFile(path string) error {
+	if g == nil {
+		return fmt.Errorf("telemetry: trace export on a disabled registry")
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -199,6 +199,7 @@ func (w *World) readLoop(to int, c net.Conn) {
 		}
 		payload := msg.GetFrameLen(int(n))
 		if _, err := io.ReadFull(c, payload); err != nil {
+			msg.PutFrame(payload)
 			return
 		}
 		if !ib.push(inFrame{from: from, tag: tag, payload: payload}) {

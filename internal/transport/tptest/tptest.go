@@ -12,7 +12,10 @@ package tptest
 
 import (
 	"fmt"
+	goruntime "runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"stfw/internal/runtime"
 )
@@ -38,10 +41,48 @@ type Options struct {
 	TestOutOfRange bool
 }
 
+// transportGoroutines returns the stacks of live goroutines currently
+// executing transport code, identified by the shared package path prefix.
+func transportGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	n := goruntime.Stack(buf, true)
+	var out []string
+	for _, s := range strings.Split(string(buf[:n]), "\n\n") {
+		if strings.Contains(s, "stfw/internal/transport") {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// checkNoLeakedGoroutines fails the test if, after a world's teardown, more
+// transport goroutines are alive than before it was created. Teardown is
+// asynchronous on wire transports (reader loops exit when their connection
+// errors out), so the check polls with a grace window before declaring a
+// leak — a leaked goroutine never exits, so the window only delays failure,
+// not success.
+func checkNoLeakedGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		gs := transportGoroutines()
+		if len(gs) <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("transport leaked %d goroutines after world close (baseline %d):\n%s",
+				len(gs)-baseline, baseline, strings.Join(gs, "\n\n"))
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // Run executes the conformance suite against the transport.
 func Run(t *testing.T, newWorld Factory, o Options) {
 	world := func(t *testing.T, size int) ([]runtime.Comm, func()) {
 		t.Helper()
+		baseline := len(transportGoroutines())
 		comms, closeWorld, err := newWorld(size)
 		if err != nil {
 			t.Fatal(err)
@@ -49,7 +90,11 @@ func Run(t *testing.T, newWorld Factory, o Options) {
 		if closeWorld == nil {
 			closeWorld = func() {}
 		}
-		return comms, closeWorld
+		done := func() {
+			closeWorld()
+			checkNoLeakedGoroutines(t, baseline)
+		}
+		return comms, done
 	}
 
 	t.Run("SendRetains", func(t *testing.T) {
