@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	stfwbench -exp table1|fig1|table2|fig6|fig7|fig8|fig9|table3|fig10|partitioners|skew|mapping|stencil|live|all [-scale N]
+//	stfwbench -exp table1|fig1|table2|fig6|fig7|fig8|fig9|table3|fig10|partitioners|skew|mapping|stencil|dynamic|live|all [-scale N]
 //
 // -scale shrinks the catalog matrices (sparse.ScaleParams semantics);
 // scale 1 is full size. The default of 8 preserves every regime the paper
@@ -45,7 +45,7 @@ type benchConfig struct {
 
 func main() {
 	var cfg benchConfig
-	exp := flag.String("exp", "all", "experiment to run: table1, fig1, table2, fig6, fig7, fig8, fig9, table3, fig10, partitioners, skew, mapping, stencil, live, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, fig1, table2, fig6, fig7, fig8, fig9, table3, fig10, partitioners, skew, mapping, stencil, dynamic, live, all")
 	verify := flag.Bool("verify", false, "run the whole-world schedule verifier over the conformance topologies and exit")
 	flag.IntVar(&cfg.Scale, "scale", 8, "matrix shrink factor (1 = full-size structures)")
 	flag.BoolVar(&cfg.telemetry, "telemetry", false, "collect live telemetry (implied by -exp live)")
@@ -104,10 +104,11 @@ func run(cfg benchConfig, exp string) error {
 		"skew":         runSkew,
 		"mapping":      runMapping,
 		"stencil":      runStencil,
+		"dynamic":      runDynamic,
 		"live":         func(c experiments.Config) error { return runLive(c, cfg, reg) },
 	}
 	order := []string{"table1", "fig1", "table2", "fig6", "fig7", "fig8", "fig9", "table3", "fig10",
-		"partitioners", "skew", "mapping", "stencil"}
+		"partitioners", "skew", "mapping", "stencil", "dynamic"}
 	if cfg.debugAddr != "" {
 		// Without a registry the endpoint still serves pprof and expvar.
 		ds, err := reg.ServeDebug(cfg.debugAddr)
@@ -255,5 +256,14 @@ func runStencil(cfg experiments.Config) error {
 		return err
 	}
 	experiments.RenderStencilControl(os.Stdout, 256, rows)
+	return nil
+}
+
+func runDynamic(cfg experiments.Config) error {
+	rows, err := experiments.DynamicSweep(cfg)
+	if err != nil {
+		return err
+	}
+	experiments.RenderDynamicSweep(os.Stdout, rows)
 	return nil
 }

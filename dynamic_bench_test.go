@@ -1,0 +1,422 @@
+package stfw
+
+// BenchmarkPatchVsRelearn quantifies the dynamic-sparsity claim: when a few
+// percent of an irregular pattern's pairs churn, discovering the change with
+// the census and incrementally patching the learned schedule + compiled
+// replay (Discover → Patch → PatchCompiled) is far cheaper than relearning
+// the world from scratch (NewPersistent → Compile). One "op" is the whole
+// K-rank world absorbing one mutation batch. TestWriteDynamicBenchJSON
+// renders the measurement — and gates the ≥5× speedup — into
+// BENCH_dynamic.json when BENCH_DYNAMIC_JSON names an output path.
+// TestPatchedReplayRunAllocs gates the other half of the contract: a replay
+// that has been through Patch/PatchCompiled still runs allocation-free.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+
+	"stfw/internal/core"
+	"stfw/internal/dynamic"
+	"stfw/internal/experiments"
+	"stfw/internal/runtime"
+	"stfw/internal/transport/chanpt"
+	"stfw/internal/vpt"
+)
+
+const dynBenchXlen = 256
+
+type dynBenchPair struct{ src, dst int }
+
+// dynBenchPattern builds the benchmark's base pattern: every rank sends
+// 16..128-word payloads to a handful of random destinations, the same
+// irregular shape the persistent benchmarks use.
+func dynBenchPattern(K int) map[dynBenchPair]int {
+	rng := rand.New(rand.NewSource(int64(K) * 3))
+	pairs := map[dynBenchPair]int{}
+	for src := 0; src < K; src++ {
+		for l := 0; l < 8; l++ {
+			dst := rng.Intn(K)
+			if dst == src {
+				continue
+			}
+			pairs[dynBenchPair{src, dst}] = 8 * (32 + rng.Intn(224))
+		}
+	}
+	return pairs
+}
+
+// dynBenchToggles picks ~1-2% of the pattern's pairs to churn each op. The
+// benchmark alternates removing and re-adding them, so every iteration is a
+// steady-state patch of the same magnitude.
+func dynBenchToggles(pairs map[dynBenchPair]int, frac float64) []dynBenchPair {
+	sorted := make([]dynBenchPair, 0, len(pairs))
+	for pr := range pairs {
+		sorted = append(sorted, pr)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].src != sorted[j].src {
+			return sorted[i].src < sorted[j].src
+		}
+		return sorted[i].dst < sorted[j].dst
+	})
+	n := int(float64(len(sorted)) * frac)
+	if n < 1 {
+		n = 1
+	}
+	stride := len(sorted) / n
+	var out []dynBenchPair
+	for i := 0; i < len(sorted) && len(out) < n; i += stride {
+		out = append(out, sorted[i])
+	}
+	return out
+}
+
+func dynBenchGather(me int, pairs map[dynBenchPair]int) map[int][]int32 {
+	g := map[int][]int32{}
+	for pr, size := range pairs {
+		if pr.src != me {
+			continue
+		}
+		idx := make([]int32, size/8)
+		for i := range idx {
+			idx[i] = int32((pr.src*29 + pr.dst*13 + i*7) % dynBenchXlen)
+		}
+		g[pr.dst] = idx
+	}
+	return g
+}
+
+func dynBenchPayloads(me int, pairs map[dynBenchPair]int) map[int][]byte {
+	p := map[int][]byte{}
+	for pr, size := range pairs {
+		if pr.src == me {
+			p[pr.dst] = make([]byte, size)
+		}
+	}
+	return p
+}
+
+// dynBenchWorld holds one goroutine per rank stepping through per-iteration
+// ops, so the measured region contains neither goroutine startup nor setup.
+type dynBenchWorld struct {
+	step []chan struct{}
+	done []chan error
+}
+
+func (bw *dynBenchWorld) iterate() error {
+	for _, ch := range bw.step {
+		ch <- struct{}{}
+	}
+	var first error
+	for _, ch := range bw.done {
+		if err := <-ch; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (bw *dynBenchWorld) stop() {
+	for _, ch := range bw.step {
+		close(ch)
+	}
+}
+
+// startDynBenchWorld spins up the K-rank world. Each step, every rank runs
+// op(c, iteration) — a full-relearn op or a census+patch op.
+func startDynBenchWorld(tb testing.TB, K int, op func(c runtime.Comm, iter int) error) *dynBenchWorld {
+	tb.Helper()
+	w, err := chanpt.NewWorld(K, 2)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	bw := &dynBenchWorld{step: make([]chan struct{}, K), done: make([]chan error, K)}
+	for r, c := range w.Comms() {
+		bw.step[r] = make(chan struct{})
+		bw.done[r] = make(chan error)
+		go func(c runtime.Comm, step chan struct{}, done chan error) {
+			iter := 0
+			for range step {
+				done <- op(c, iter)
+				iter++
+			}
+		}(c, bw.step[r], bw.done[r])
+	}
+	return bw
+}
+
+// benchRelearn: one op = the whole world learns the pattern from scratch and
+// compiles it — the cost Patch is competing against.
+func benchRelearn(b *testing.B, K, dim int) {
+	tp, err := vpt.NewBalanced(K, dim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := dynBenchPattern(K)
+	payloads := make([]map[int][]byte, K)
+	gathers := make([]map[int][]int32, K)
+	for me := 0; me < K; me++ {
+		payloads[me] = dynBenchPayloads(me, pairs)
+		gathers[me] = dynBenchGather(me, pairs)
+	}
+	bw := startDynBenchWorld(b, K, func(c runtime.Comm, _ int) error {
+		me := c.Rank()
+		p, _, err := core.NewPersistent(c, tp, payloads[me])
+		if err != nil {
+			return err
+		}
+		_, err = p.Compile(dynBenchXlen, gathers[me])
+		return err
+	})
+	defer bw.stop()
+	if err := bw.iterate(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bw.iterate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPatch: one op = the whole world absorbs one mutation batch through
+// the production dynamic path — census, schedule patch, incremental
+// re-lower. Odd iterations remove the toggle set, even ones re-add it.
+func benchPatch(b *testing.B, K, dim int) {
+	tp, err := vpt.NewBalanced(K, dim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := dynBenchPattern(K)
+	toggles := dynBenchToggles(pairs, 0.015)
+	removed := map[dynBenchPair]int{}
+	for pr, size := range pairs {
+		removed[pr] = size
+	}
+	for _, pr := range toggles {
+		delete(removed, pr)
+	}
+
+	// Phase 0 removes the toggles (gather shrinks), phase 1 re-adds them.
+	rmDeltas := make([]dynamic.Delta, K)
+	addDeltas := make([]dynamic.Delta, K)
+	for _, pr := range toggles {
+		rmDeltas[pr.src].Remove = append(rmDeltas[pr.src].Remove, pr.dst)
+		addDeltas[pr.src].Add = append(addDeltas[pr.src].Add, dynamic.Announce{Dst: pr.dst, Size: pairs[pr]})
+	}
+	fullGather := make([]map[int][]int32, K)
+	rmGather := make([]map[int][]int32, K)
+	for me := 0; me < K; me++ {
+		fullGather[me] = dynBenchGather(me, pairs)
+		rmGather[me] = dynBenchGather(me, removed)
+	}
+
+	ps := make([]*core.Persistent, K)
+	reps := make([]*core.Replay, K)
+	bw := startDynBenchWorld(b, K, func(c runtime.Comm, iter int) error {
+		me := c.Rank()
+		if ps[me] == nil {
+			p, _, err := core.NewPersistent(c, tp, dynBenchPayloads(me, pairs))
+			if err != nil {
+				return err
+			}
+			rep, err := p.Compile(dynBenchXlen, fullGather[me])
+			if err != nil {
+				return err
+			}
+			ps[me], reps[me] = p, rep
+			return nil
+		}
+		delta, gather := rmDeltas[me], rmGather[me]
+		if iter%2 == 0 {
+			delta, gather = addDeltas[me], fullGather[me]
+		}
+		pd, err := dynamic.Discover(c, tp, delta)
+		if err != nil {
+			return err
+		}
+		st, err := ps[me].Patch(pd)
+		if err != nil {
+			return err
+		}
+		return ps[me].PatchCompiled(reps[me], dynBenchXlen, gather, st)
+	})
+	defer bw.stop()
+	// Iteration 0 learns; warm one remove+add cycle.
+	for i := 0; i < 3; i++ {
+		if err := bw.iterate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bw.iterate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPatchVsRelearn(b *testing.B) {
+	const K, dim = 64, 3
+	b.Run(fmt.Sprintf("relearn/K=%d", K), func(b *testing.B) { benchRelearn(b, K, dim) })
+	b.Run(fmt.Sprintf("patch/K=%d", K), func(b *testing.B) { benchPatch(b, K, dim) })
+}
+
+// TestPatchedReplayRunAllocs gates the steady-state allocation contract
+// across pattern churn: after the world's compiled replays have been through
+// Discover → Patch → PatchCompiled, Replay.Run must still allocate nothing.
+func TestPatchedReplayRunAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; the gate runs in the non-race CI job")
+	}
+	const K, dim = 16, 2
+	tp, err := vpt.NewBalanced(K, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := dynBenchPattern(K)
+	toggles := dynBenchToggles(pairs, 0.05)
+	rmDeltas := make([]dynamic.Delta, K)
+	addDeltas := make([]dynamic.Delta, K)
+	for _, pr := range toggles {
+		rmDeltas[pr.src].Remove = append(rmDeltas[pr.src].Remove, pr.dst)
+		addDeltas[pr.src].Add = append(addDeltas[pr.src].Add, dynamic.Announce{Dst: pr.dst, Size: pairs[pr]})
+	}
+	removed := map[dynBenchPair]int{}
+	for pr, size := range pairs {
+		removed[pr] = size
+	}
+	for _, pr := range toggles {
+		delete(removed, pr)
+	}
+
+	reps := make([]*core.Replay, K)
+	xs := make([][]float64, K)
+	halos := make([][]float64, K)
+	bw := startDynBenchWorld(t, K, func(c runtime.Comm, iter int) error {
+		me := c.Rank()
+		switch iter {
+		case 0: // learn + compile + patch through a full remove/add cycle
+			p, _, err := core.NewPersistent(c, tp, dynBenchPayloads(me, pairs))
+			if err != nil {
+				return err
+			}
+			rep, err := p.Compile(dynBenchXlen, dynBenchGather(me, pairs))
+			if err != nil {
+				return err
+			}
+			for _, cycle := range []struct {
+				delta  dynamic.Delta
+				gather map[int][]int32
+			}{
+				{rmDeltas[me], dynBenchGather(me, removed)},
+				{addDeltas[me], dynBenchGather(me, pairs)},
+			} {
+				pd, err := dynamic.Discover(c, tp, cycle.delta)
+				if err != nil {
+					return err
+				}
+				st, err := p.Patch(pd)
+				if err != nil {
+					return err
+				}
+				if err := p.PatchCompiled(rep, dynBenchXlen, cycle.gather, st); err != nil {
+					return err
+				}
+			}
+			reps[me] = rep
+			xs[me] = make([]float64, dynBenchXlen)
+			for i := range xs[me] {
+				xs[me][i] = float64(me*dynBenchXlen + i)
+			}
+			halos[me] = make([]float64, rep.HaloWords())
+			return nil
+		default: // steady-state replay of the patched schedule
+			return reps[me].Run(c, xs[me], halos[me])
+		}
+	})
+	defer bw.stop()
+	// Learning/patching step, then warm the pools and high-water marks.
+	for i := 0; i < 4; i++ {
+		if err := bw.iterate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stepErr error
+	avg := testing.AllocsPerRun(20, func() {
+		if err := bw.iterate(); err != nil && stepErr == nil {
+			stepErr = err
+		}
+	})
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+	if avg != 0 {
+		t.Fatalf("patched Replay.Run allocates %.2f times per op across %d ranks, want 0", avg, K)
+	}
+}
+
+// dynBenchReport is the BENCH_dynamic.json schema: the patch-vs-relearn
+// headline from BenchmarkPatchVsRelearn plus the mutate-rate × K sweep
+// (the same rows `stfwbench -exp dynamic` prints).
+type dynBenchReport struct {
+	Note           string                   `json:"note"`
+	K              int                      `json:"k"`
+	TogglePairs    int                      `json:"toggle_pairs"`
+	PatternPairs   int                      `json:"pattern_pairs"`
+	RelearnNsPerOp float64                  `json:"relearn_ns_per_op"`
+	PatchNsPerOp   float64                  `json:"patch_ns_per_op"`
+	Speedup        float64                  `json:"speedup"`
+	Sweep          []experiments.DynamicRow `json:"sweep"`
+}
+
+// TestWriteDynamicBenchJSON measures BenchmarkPatchVsRelearn via
+// testing.Benchmark, gates the ≥5× acceptance bar, runs the stfwbench
+// mutate-rate sweep, and writes the combined report to the path named by
+// BENCH_DYNAMIC_JSON.
+func TestWriteDynamicBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_DYNAMIC_JSON")
+	if path == "" {
+		t.Skip("BENCH_DYNAMIC_JSON not set")
+	}
+	const K, dim = 64, 3
+	pairs := dynBenchPattern(K)
+	relearn := testing.Benchmark(func(b *testing.B) { benchRelearn(b, K, dim) })
+	patch := testing.Benchmark(func(b *testing.B) { benchPatch(b, K, dim) })
+	report := dynBenchReport{
+		Note: "one op = the whole K-rank chanpt world absorbs one ~1.5% mutation batch: " +
+			"relearn = NewPersistent+Compile from scratch, patch = Discover census + Patch + PatchCompiled",
+		K:              K,
+		TogglePairs:    len(dynBenchToggles(pairs, 0.015)),
+		PatternPairs:   len(pairs),
+		RelearnNsPerOp: float64(relearn.T.Nanoseconds()) / float64(relearn.N),
+		PatchNsPerOp:   float64(patch.T.Nanoseconds()) / float64(patch.N),
+	}
+	report.Speedup = report.RelearnNsPerOp / report.PatchNsPerOp
+	t.Logf("relearn %.0f ns/op (N=%d), patch %.0f ns/op (N=%d): %.1fx",
+		report.RelearnNsPerOp, relearn.N, report.PatchNsPerOp, patch.N, report.Speedup)
+	if report.Speedup < 5 {
+		t.Errorf("patching a %d/%d-pair dirty schedule is only %.1fx cheaper than relearning, want >=5x",
+			report.TogglePairs, report.PatternPairs, report.Speedup)
+	}
+	sweep, err := experiments.DynamicSweep(experiments.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.Sweep = sweep
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

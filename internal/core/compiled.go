@@ -47,6 +47,12 @@ type Replay struct {
 	// into the frame arena at the end of every Run.
 	inFrames [][]byte
 	pending  []int // scratch for arrival-order receives, reused across runs
+	// inLoc caches each forwarded slot's retained-frame location, so
+	// PatchCompiled can re-lower dirty frames without re-deriving the
+	// locations of slots in clean inbound frames. Entries for removed slots
+	// go stale harmlessly: nothing forwards them, and re-adding a slot
+	// dirties its inbound frame, which recomputes the entry first.
+	inLoc map[slotKey]slotLoc
 	// tele, when set, records per-stage gather/forward/deliver spans and
 	// forwarded byte counts; see Instrument.
 	tele *telemetry.Rank
@@ -131,23 +137,8 @@ type slotLoc struct {
 // order (sorted by source rank), one contiguous word block per source.
 func (p *Persistent) Compile(xlen int, gather map[int][]int32) (*Replay, error) {
 	me := p.rank
-	if len(gather) != len(p.dests) {
-		return nil, fmt.Errorf("core: compile: %d gather lists for %d learned destinations", len(gather), len(p.dests))
-	}
-	for dst, idx := range gather {
-		if _, ok := p.dests[dst]; !ok {
-			return nil, fmt.Errorf("core: compile: destination %d not in the learned pattern", dst)
-		}
-		want := p.sizes[slotKey{src: int32(me), dst: int32(dst)}]
-		if 8*len(idx) != want {
-			return nil, fmt.Errorf("core: compile: destination %d gathers %d words, learned payload is %d bytes",
-				dst, len(idx), want)
-		}
-		for _, g := range idx {
-			if int(g) < 0 || int(g) >= xlen {
-				return nil, fmt.Errorf("core: compile: gather index %d out of x range [0,%d)", g, xlen)
-			}
-		}
+	if err := p.checkGather(xlen, gather); err != nil {
+		return nil, err
 	}
 
 	r := &Replay{me: me, size: p.topo.Size(), xlen: xlen}
@@ -232,7 +223,35 @@ func (p *Persistent) Compile(xlen int, gather map[int][]int32) (*Replay, error) 
 	}
 	r.inFrames = make([][]byte, nextFrame)
 	r.pending = make([]int, 0, maxNbrs)
+	r.inLoc = inLoc
 	return r, nil
+}
+
+// checkGather validates a gather map against the (current) learned
+// pattern: exactly one list per destination, each list's byte size equal
+// to the pattern's payload size, every index inside x. Shared by Compile
+// and PatchCompiled so both lowerings enforce the same contract.
+func (p *Persistent) checkGather(xlen int, gather map[int][]int32) error {
+	me := p.rank
+	if len(gather) != len(p.dests) {
+		return fmt.Errorf("core: compile: %d gather lists for %d learned destinations", len(gather), len(p.dests))
+	}
+	for dst, idx := range gather {
+		if _, ok := p.dests[dst]; !ok {
+			return fmt.Errorf("core: compile: destination %d not in the learned pattern", dst)
+		}
+		want := p.sizes[slotKey{src: int32(me), dst: int32(dst)}]
+		if 8*len(idx) != want {
+			return fmt.Errorf("core: compile: destination %d gathers %d words, learned payload is %d bytes",
+				dst, len(idx), want)
+		}
+		for _, g := range idx {
+			if int(g) < 0 || int(g) >= xlen {
+				return fmt.Errorf("core: compile: gather index %d out of x range [0,%d)", g, xlen)
+			}
+		}
+	}
+	return nil
 }
 
 // compileFrame builds one outgoing frame program: the wire template with

@@ -38,6 +38,20 @@ func TagStage(tag, maxStages int) (int, bool) {
 	return 0, false
 }
 
+// censusTagBase offsets the dynamic-discovery census (dynamic.Discover)
+// into its own tag range, disjoint from every StageTag and from the direct
+// tag, so a census can interleave with payload exchanges on the same
+// communicator without cross-matching frames. The offset leaves room for
+// any realistic dimension count (StageTag grows by 1 per stage and
+// topologies cap out near lg2 K stages).
+const censusTagBase = tagBase + 0x100
+
+// CensusTag returns the transport tag stage d of the dynamic-discovery
+// census travels under. TagStage deliberately does not map these tags:
+// census frames carry announcements, not payload, and stage-scoped
+// telemetry should not attribute them to data stages.
+func CensusTag(d int) int { return censusTagBase + d }
+
 // ExchangeOpt configures an Exchange, DirectExchange, or Persistent.Run
 // call. All ranks of a collective call must pass the same options.
 type ExchangeOpt func(*exchangeOptions)

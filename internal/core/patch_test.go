@@ -1,0 +1,524 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"stfw/internal/runtime"
+	"stfw/internal/telemetry"
+	"stfw/internal/transport/chanpt"
+	"stfw/internal/vpt"
+)
+
+func synthTopology(t *testing.T, K, n int) *vpt.Topology {
+	t.Helper()
+	tp, err := vpt.NewBalanced(K, n)
+	if err != nil {
+		tp, err = vpt.NewFactored(K, n) // non-power-of-two K
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+// synthBasePairs builds a seeded irregular pattern with word-aligned sizes
+// (so the same base works for compiled-replay tests).
+func synthBasePairs(seed int64, K int) map[synthPair]int {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := map[synthPair]int{}
+	for src := 0; src < K; src++ {
+		fan := 1 + rng.Intn(4)
+		for i := 0; i < fan; i++ {
+			dst := rng.Intn(K)
+			pairs[synthPair{src, dst}] = 8 * (1 + rng.Intn(6))
+		}
+	}
+	return pairs
+}
+
+// TestSynthWorldMatchesLearned anchors the synthetic ground truth to the
+// real learning run: a world learned over chanpt must carry exactly the
+// slots, sizes, deliveries, and destinations synthWorld computes locally.
+// (Within-frame slot order may differ — learning order is the forward
+// buffer's, synth order is canonical — so frames compare as sets.)
+func TestSynthWorldMatchesLearned(t *testing.T) {
+	for _, c := range []struct{ K, n int }{{8, 3}, {16, 2}, {12, 2}} {
+		tp := synthTopology(t, c.K, c.n)
+		pairs := synthBasePairs(int64(c.K), c.K)
+		synth := synthWorld(tp, pairs)
+
+		w, err := chanpt.NewWorld(c.K, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		learned := make([]*Persistent, c.K)
+		err = runtime.Run(w.Comms(), func(cm runtime.Comm) error {
+			payloads := map[int][]byte{}
+			for pr, size := range pairs {
+				if pr.src == cm.Rank() {
+					payloads[pr.dst] = make([]byte, size)
+				}
+			}
+			p, _, err := NewPersistent(cm, tp, payloads)
+			if err != nil {
+				return err
+			}
+			learned[cm.Rank()] = p
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyLearnedWorld(synth); err != nil {
+			t.Fatalf("K=%d: synth world fails verification: %v", c.K, err)
+		}
+		if err := VerifyLearnedWorld(learned); err != nil {
+			t.Fatalf("K=%d: learned world fails verification: %v", c.K, err)
+		}
+		for me := 0; me < c.K; me++ {
+			sp, lp := synth[me], learned[me]
+			if len(sp.sizes) != len(lp.sizes) {
+				t.Fatalf("K=%d rank %d: synth records %d sizes, learned %d", c.K, me, len(sp.sizes), len(lp.sizes))
+			}
+			for k, n := range sp.sizes {
+				if ln, ok := lp.sizes[k]; !ok || ln != n {
+					t.Fatalf("K=%d rank %d: size of %d->%d synth %d, learned %d", c.K, me, k.src, k.dst, n, ln)
+				}
+			}
+			if !slotsEqual(sp.deliver, lp.deliver) {
+				t.Fatalf("K=%d rank %d: deliver synth %v, learned %v", c.K, me, sp.deliver, lp.deliver)
+			}
+			for d := range sp.nbrFrames {
+				for _, nf := range sp.nbrFrames[d] {
+					var ss, ls []slotKey
+					if nf.f != nil {
+						ss = nf.f.slots
+					}
+					if li := lp.outFrameIndex(d, nf.to); li >= 0 && lp.nbrFrames[d][li].f != nil {
+						ls = lp.nbrFrames[d][li].f.slots
+					}
+					if !slotsEqual(slotSet(ss), slotSet(ls)) {
+						t.Fatalf("K=%d rank %d stage %d frame to %d: synth %v, learned %v", c.K, me, d, nf.to, ss, ls)
+					}
+				}
+				for j, from := range sp.inFrom[d] {
+					ls, ok := lp.learnedInSlots(d, from)
+					if !ok {
+						t.Fatalf("K=%d rank %d stage %d: learned world has no frame from %d", c.K, me, d, from)
+					}
+					if !slotsEqual(slotSet(sp.inLayout[d][j]), slotSet(ls)) {
+						t.Fatalf("K=%d rank %d stage %d frame from %d: synth %v, learned %v",
+							c.K, me, d, from, sp.inLayout[d][j], ls)
+					}
+				}
+			}
+		}
+	}
+}
+
+// synthMutations derives a seeded mutation list from a base pattern:
+// removals of existing pairs, additions of absent ones, and resizes.
+func synthMutations(seed int64, K int, pairs map[synthPair]int) []PatchPair {
+	rng := rand.New(rand.NewSource(seed))
+	var muts []PatchPair
+	removed := map[synthPair]bool{}
+	for pr := range pairs {
+		switch rng.Intn(4) {
+		case 0: // remove
+			muts = append(muts, PatchPair{Src: pr.src, Dst: pr.dst, Remove: true})
+			removed[pr] = true
+		case 1: // resize
+			muts = append(muts, PatchPair{Src: pr.src, Dst: pr.dst, Remove: true})
+			muts = append(muts, PatchPair{Src: pr.src, Dst: pr.dst, Size: 8 * (1 + rng.Intn(6))})
+			removed[pr] = true
+		}
+	}
+	for i := 0; i < K; i++ {
+		pr := synthPair{rng.Intn(K), rng.Intn(K)}
+		if _, exists := pairs[pr]; exists && !removed[pr] {
+			continue
+		}
+		if removed[pr] {
+			continue // keep the mutation list one-op-per-pair beyond resizes
+		}
+		already := false
+		for _, m := range muts {
+			if !m.Remove && m.Src == pr.src && m.Dst == pr.dst {
+				already = true
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		muts = append(muts, PatchPair{Src: pr.src, Dst: pr.dst, Size: 8 * (1 + rng.Intn(6))})
+	}
+	return muts
+}
+
+// TestPatchMatchesSynth is the core equivalence theorem, structurally: for
+// seeded mutation batches over several topologies, patching every rank of
+// synthWorld(base) yields exactly synthWorld(mutated) — same slots per
+// frame, sizes, deliveries, destinations — and the patched world passes
+// both whole-world verifiers.
+func TestPatchMatchesSynth(t *testing.T) {
+	for _, c := range []struct{ K, n int }{{8, 3}, {8, 1}, {16, 2}, {16, 4}, {12, 2}} {
+		for seed := int64(1); seed <= 3; seed++ {
+			tp := synthTopology(t, c.K, c.n)
+			base := synthBasePairs(seed, c.K)
+			muts := synthMutations(seed*100, c.K, base)
+			world := synthWorld(tp, base)
+			deltas := synthDeltas(tp, muts)
+			for me, p := range world {
+				st, err := p.Patch(deltas[me])
+				if err != nil {
+					t.Fatalf("K=%d n=%d seed=%d rank %d: patch rejected: %v", c.K, c.n, seed, me, err)
+				}
+				if st.Added+st.Removed != len(deltas[me].Pairs) {
+					t.Fatalf("K=%d rank %d: stats count %d+%d ops, delta has %d",
+						c.K, me, st.Added, st.Removed, len(deltas[me].Pairs))
+				}
+				if st.DirtyStages > tp.N() {
+					t.Fatalf("K=%d rank %d: %d dirty stages of %d", c.K, me, st.DirtyStages, tp.N())
+				}
+			}
+			want := synthWorld(tp, applyMutations(base, muts))
+			for me := range world {
+				if err := comparePersistent(world[me], want[me], false); err != nil {
+					t.Fatalf("K=%d n=%d seed=%d: patched world differs from relearned: %v", c.K, c.n, seed, err)
+				}
+			}
+			if err := VerifyWorld(LearnedWorldSchedules(world)); err != nil {
+				t.Fatalf("K=%d n=%d seed=%d: patched world fails VerifyWorld: %v", c.K, c.n, seed, err)
+			}
+			if err := VerifyLearnedWorld(world); err != nil {
+				t.Fatalf("K=%d n=%d seed=%d: patched world fails VerifyLearnedWorld: %v", c.K, c.n, seed, err)
+			}
+			// Reserve counts in the rebuilt schedule must equal the new slot
+			// counts — stale counts would under-reserve replay frames.
+			for me, p := range world {
+				sched := p.Schedule()
+				for d, ss := range sched.Stages {
+					for j, s := range ss.Sends {
+						n := 0
+						if p.nbrFrames[d][j].f != nil {
+							n = len(p.nbrFrames[d][j].f.slots)
+						}
+						if s.Reserve != n {
+							t.Fatalf("K=%d rank %d stage %d: Reserve %d for %d slots", c.K, me, d, s.Reserve, n)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPatchRejectLeavesUnchanged drives every rejection path and proves the
+// Persistent is bit-identical to an untouched twin afterwards — Patch
+// validates the whole delta before mutating anything.
+func TestPatchRejectLeavesUnchanged(t *testing.T) {
+	tp := synthTopology(t, 8, 3)
+	base := synthBasePairs(1, 8)
+	// Pick an existing pair and an absent one for the scenarios.
+	var have synthPair
+	for pr := range base {
+		if pr.src != pr.dst {
+			have = pr
+			break
+		}
+	}
+	absent := synthPair{-1, -1}
+	for s := 0; s < 8 && absent.src < 0; s++ {
+		for d := 0; d < 8; d++ {
+			if _, ok := base[synthPair{s, d}]; !ok && s != d {
+				absent = synthPair{s, d}
+				break
+			}
+		}
+	}
+	cases := []struct {
+		name  string
+		rank  int
+		delta PatchDelta
+	}{
+		{"remove-absent", absent.src, PatchDelta{Pairs: []PatchPair{{Src: absent.src, Dst: absent.dst, Remove: true}}}},
+		{"add-existing", have.src, PatchDelta{Pairs: []PatchPair{{Src: have.src, Dst: have.dst, Size: 8}}}},
+		{"dup-remove", have.src, PatchDelta{Pairs: []PatchPair{
+			{Src: have.src, Dst: have.dst, Remove: true}, {Src: have.src, Dst: have.dst, Remove: true}}}},
+		{"dup-add", absent.src, PatchDelta{Pairs: []PatchPair{
+			{Src: absent.src, Dst: absent.dst, Size: 8}, {Src: absent.src, Dst: absent.dst, Size: 16}}}},
+		{"out-of-range", 0, PatchDelta{Pairs: []PatchPair{{Src: 0, Dst: 99, Size: 8}}}},
+		{"negative-size", absent.src, PatchDelta{Pairs: []PatchPair{{Src: absent.src, Dst: absent.dst, Size: -8}}}},
+		// A mixed delta: one valid removal plus one invalid op. The valid
+		// half must NOT be applied.
+		{"valid-plus-invalid", have.src, PatchDelta{Pairs: []PatchPair{
+			{Src: have.src, Dst: have.dst, Remove: true}, {Src: 0, Dst: 99, Size: 8}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			world := synthWorld(tp, base)
+			fresh := synthWorld(tp, base)
+			p := world[tc.rank]
+			if _, err := p.Patch(&tc.delta); err == nil {
+				t.Fatalf("patch accepted an invalid delta")
+			}
+			if err := comparePersistent(p, fresh[tc.rank], true); err != nil {
+				t.Fatalf("rejected patch mutated state: %v", err)
+			}
+			// The cached schedule must still replay-validate.
+			if err := validateSchedule(p.Schedule(), tc.rank, 8); err != nil {
+				t.Fatalf("schedule after rejected patch: %v", err)
+			}
+		})
+	}
+
+	// Not-transiting: find a pair and a rank off its route.
+	t.Run("not-transiting", func(t *testing.T) {
+		world := synthWorld(tp, base)
+		fresh := synthWorld(tp, base)
+		for me := 0; me < 8; me++ {
+			if _, involved := routeHops(tp, me, absent.src, absent.dst); involved {
+				continue
+			}
+			p := world[me]
+			if _, err := p.Patch(&PatchDelta{Pairs: []PatchPair{{Src: absent.src, Dst: absent.dst, Size: 8}}}); err == nil {
+				t.Fatalf("rank %d accepted a pair whose route does not transit it", me)
+			}
+			if err := comparePersistent(p, fresh[me], true); err != nil {
+				t.Fatalf("rejected patch mutated state: %v", err)
+			}
+			return
+		}
+		t.Skip("every rank lies on the route for this shape")
+	})
+}
+
+// TestPatchResizeAppendsAtTail pins the canonical resize rule: a paired
+// remove+add lands the slot at the tail of the frame on both endpoints of
+// every hop, with the new size recorded.
+func TestPatchResizeAppendsAtTail(t *testing.T) {
+	tp := synthTopology(t, 8, 3)
+	base := synthBasePairs(2, 8)
+	// Find a pair that actually rides a frame (src != dst).
+	var pr synthPair
+	for cand := range base {
+		if cand.src != cand.dst {
+			pr = cand
+			break
+		}
+	}
+	world := synthWorld(tp, base)
+	muts := []PatchPair{
+		{Src: pr.src, Dst: pr.dst, Remove: true},
+		{Src: pr.src, Dst: pr.dst, Size: 8 * 7},
+	}
+	deltas := synthDeltas(tp, muts)
+	k := slotKey{src: int32(pr.src), dst: int32(pr.dst)}
+	for me, p := range world {
+		if len(deltas[me].Pairs) == 0 {
+			continue
+		}
+		if _, err := p.Patch(deltas[me]); err != nil {
+			t.Fatalf("rank %d: %v", me, err)
+		}
+		if got := p.sizes[k]; got != 8*7 {
+			t.Fatalf("rank %d: resized pair records %d bytes, want %d", me, got, 8*7)
+		}
+		h, _ := routeHops(tp, me, pr.src, pr.dst)
+		if h.sendD >= 0 {
+			slots := p.nbrFrames[h.sendD][p.outFrameIndex(h.sendD, h.sendTo)].f.slots
+			if slots[len(slots)-1] != k {
+				t.Fatalf("rank %d: resized slot not at tail of outbound frame: %v", me, slots)
+			}
+		}
+		if h.recvD >= 0 {
+			slots := p.inLayout[h.recvD][p.inFrameIndex(h.recvD, h.recvFrom)]
+			if slots[len(slots)-1] != k {
+				t.Fatalf("rank %d: resized slot not at tail of inbound layout: %v", me, slots)
+			}
+		}
+	}
+	if err := VerifyLearnedWorld(world); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// equalReplay compares two compiled replays structurally: templates,
+// op tables, inbound metadata, halo shape.
+func equalReplay(t *testing.T, label string, a, b *Replay) {
+	t.Helper()
+	if a.haloWords != b.haloWords || a.xlen != b.xlen {
+		t.Fatalf("%s: halo %d/%d words, xlen %d/%d", label, a.haloWords, b.haloWords, a.xlen, b.xlen)
+	}
+	if len(a.selfs) != len(b.selfs) {
+		t.Fatalf("%s: %d self ops vs %d", label, len(a.selfs), len(b.selfs))
+	}
+	for i := range a.selfs {
+		if a.selfs[i].haloOff != b.selfs[i].haloOff || len(a.selfs[i].idx) != len(b.selfs[i].idx) {
+			t.Fatalf("%s: self op %d differs", label, i)
+		}
+	}
+	if len(a.stages) != len(b.stages) {
+		t.Fatalf("%s: %d stages vs %d", label, len(a.stages), len(b.stages))
+	}
+	for d := range a.stages {
+		as, bs := &a.stages[d], &b.stages[d]
+		if as.tag != bs.tag || len(as.frames) != len(bs.frames) {
+			t.Fatalf("%s: stage %d shape differs", label, d)
+		}
+		for j := range as.frames {
+			af, bf := &as.frames[j], &bs.frames[j]
+			if af.to != bf.to {
+				t.Fatalf("%s: stage %d frame %d to %d vs %d", label, d, j, af.to, bf.to)
+			}
+			if string(af.tmpl) != string(bf.tmpl) {
+				t.Fatalf("%s: stage %d frame to %d: templates differ (%d vs %d bytes)", label, d, af.to, len(af.tmpl), len(bf.tmpl))
+			}
+			if len(af.gathers) != len(bf.gathers) || len(af.fwds) != len(bf.fwds) {
+				t.Fatalf("%s: stage %d frame to %d: op tables differ", label, d, af.to)
+			}
+			for i := range af.gathers {
+				if af.gathers[i].off != bf.gathers[i].off || len(af.gathers[i].idx) != len(bf.gathers[i].idx) {
+					t.Fatalf("%s: stage %d frame to %d: gather op %d differs", label, d, af.to, i)
+				}
+			}
+			for i := range af.fwds {
+				if af.fwds[i] != bf.fwds[i] {
+					t.Fatalf("%s: stage %d frame to %d: fwd op %d differs", label, d, af.to, i)
+				}
+			}
+		}
+		if len(as.recvFrom) != len(bs.recvFrom) {
+			t.Fatalf("%s: stage %d inbound shape differs", label, d)
+		}
+		for j := range as.recvFrom {
+			if as.recvFrom[j] != bs.recvFrom[j] || as.inSize[j] != bs.inSize[j] || as.inNsubs[j] != bs.inNsubs[j] {
+				t.Fatalf("%s: stage %d inbound frame %d metadata differs", label, d, j)
+			}
+			if len(as.delivers[j]) != len(bs.delivers[j]) {
+				t.Fatalf("%s: stage %d inbound frame %d deliver ops differ", label, d, j)
+			}
+			for i := range as.delivers[j] {
+				if as.delivers[j][i] != bs.delivers[j][i] {
+					t.Fatalf("%s: stage %d inbound frame %d deliver op %d differs", label, d, j, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPatchCompiledMatchesRecompile proves the incremental lowering exact:
+// after a Patch, PatchCompiled must leave the Replay structurally identical
+// to compiling the patched Persistent from scratch — and clean frames must
+// keep their template backing arrays (the incremental part is real, not a
+// hidden recompile).
+func TestPatchCompiledMatchesRecompile(t *testing.T) {
+	const xlen = 128
+	for _, c := range []struct{ K, n int }{{8, 3}, {16, 2}, {12, 2}} {
+		tp := synthTopology(t, c.K, c.n)
+		base := synthBasePairs(int64(c.K)+10, c.K)
+		muts := synthMutations(int64(c.K)*7, c.K, base)
+		world := synthWorld(tp, base)
+		deltas := synthDeltas(tp, muts)
+		for me, p := range world {
+			gather := synthGather(p, xlen)
+			rep, err := p.Compile(xlen, gather)
+			if err != nil {
+				t.Fatalf("K=%d rank %d: compile: %v", c.K, me, err)
+			}
+			// Remember each frame's template backing array.
+			type fkey struct{ d, j int }
+			tmplPtr := map[fkey]*byte{}
+			for d := range rep.stages {
+				for j := range rep.stages[d].frames {
+					if tm := rep.stages[d].frames[j].tmpl; len(tm) > 0 {
+						tmplPtr[fkey{d, j}] = &tm[0]
+					}
+				}
+			}
+			st, err := p.Patch(deltas[me])
+			if err != nil {
+				t.Fatalf("K=%d rank %d: patch: %v", c.K, me, err)
+			}
+			gather = synthGather(p, xlen) // destinations may have changed
+			if err := p.PatchCompiled(rep, xlen, gather, st); err != nil {
+				t.Fatalf("K=%d rank %d: patch-compile: %v", c.K, me, err)
+			}
+			fresh, err := p.Compile(xlen, gather)
+			if err != nil {
+				t.Fatalf("K=%d rank %d: recompile: %v", c.K, me, err)
+			}
+			equalReplay(t, "patched vs recompiled", rep, fresh)
+			// Clean frames must still point at their original templates.
+			reused, rebuilt := 0, 0
+			for d := range rep.stages {
+				for j := range rep.stages[d].frames {
+					ptr, had := tmplPtr[fkey{d, j}]
+					tm := rep.stages[d].frames[j].tmpl
+					if st.dirtyOut[frameRef{d, j}] {
+						rebuilt++
+						continue
+					}
+					if had && len(tm) > 0 && &tm[0] != ptr {
+						t.Fatalf("K=%d rank %d: clean frame (stage %d, slot %d) lost its template", c.K, me, d, j)
+					}
+					if had {
+						reused++
+					}
+				}
+			}
+			if reused == 0 && rebuilt == 0 && len(tmplPtr) > 0 {
+				t.Fatalf("K=%d rank %d: no frames accounted for", c.K, me)
+			}
+		}
+	}
+}
+
+// TestPatchTelemetry checks the patch counters land on the rank collector
+// and survive a snapshot.
+func TestPatchTelemetry(t *testing.T) {
+	tp := synthTopology(t, 8, 3)
+	base := synthBasePairs(5, 8)
+	world := synthWorld(tp, base)
+	reg, err := telemetry.New(telemetry.Config{Ranks: 8, Stages: tp.N()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr synthPair
+	for cand := range base {
+		if cand.src != cand.dst {
+			pr = cand
+			break
+		}
+	}
+	muts := []PatchPair{{Src: pr.src, Dst: pr.dst, Remove: true}}
+	deltas := synthDeltas(tp, muts)
+	patched := 0
+	for me, p := range world {
+		p.Instrument(reg.Rank(me))
+		if len(deltas[me].Pairs) == 0 {
+			continue
+		}
+		if _, err := p.Patch(deltas[me]); err != nil {
+			t.Fatalf("rank %d: %v", me, err)
+		}
+		patched++
+	}
+	snap := reg.Snapshot()
+	var patches, dirty int64
+	for _, r := range snap.Ranks {
+		patches += r.Patches
+		dirty += r.PatchDirtyStages
+	}
+	if patches != int64(patched) {
+		t.Fatalf("snapshot records %d patches, want %d", patches, patched)
+	}
+	if dirty == 0 {
+		t.Fatal("snapshot records zero dirty stages across all patches")
+	}
+	// The nil collector must stay a no-op.
+	var nilRank *telemetry.Rank
+	nilRank.CountPatch(3, 0)
+}

@@ -31,13 +31,18 @@ import (
 type Persistent struct {
 	topo *vpt.Topology
 	rank int
-	// layout[d] lists the nonempty frames of stage d in send order.
+	// layout[d] lists the nonempty frames of stage d in send order, as the
+	// learning run recorded them. It only feeds indexNeighborFrames; after
+	// that (and in particular after any Patch, which may point nbrFrames at
+	// frames the learning run never saw) nbrFrames is the sole authority on
+	// outbound frame contents.
 	layout [][]pFrame
 	// nbrFrames[d][j] pairs the j-th dimension-d neighbor (fixed learning
 	// send order) with its learned nonempty frame, nil when the frame to
 	// that neighbor is empty, plus a reusable submessage scratch sized to
 	// the frame. Precomputed once so replays neither rebuild a per-stage
-	// map nor allocate per-frame submessage slices.
+	// map nor allocate per-frame submessage slices. Patch mutates the slot
+	// lists in place (and re-sizes the scratch) when the pattern changes.
 	nbrFrames [][]nbrFrame
 	// deliver lists the (src, dst) ranks whose payloads end up at this
 	// rank, in the order Exchange returns them (sorted by src, then dst).

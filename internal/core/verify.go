@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"stfw/internal/vpt"
 )
@@ -192,6 +193,167 @@ func VerifyWorldAgainstPlan(scheds []*StageSchedule, p *Plan) error {
 		}
 	}
 	return v.join()
+}
+
+// LearnedWorldSchedules returns every rank's learned (or patched) schedule
+// — the programs Persistent.Run executes — for gating a whole learned
+// world through VerifyWorld. Typical use after a patch round: run
+// VerifyWorld over these plus VerifyLearnedWorld over the Persistents
+// themselves.
+func LearnedWorldSchedules(ps []*Persistent) []*StageSchedule {
+	scheds := make([]*StageSchedule, len(ps))
+	for r, p := range ps {
+		if p != nil {
+			scheds[r] = p.Schedule()
+		}
+	}
+	return scheds
+}
+
+// VerifyLearnedWorld cross-checks a world of learned (or patched)
+// Persistents far more deeply than the schedule-level VerifyWorld can: a
+// learned schedule sends a frame to every neighbor whether or not it
+// carries payload, so pattern churn never changes the schedule skeleton
+// and a structurally clean world could still carry misrouted slots. This
+// verifier checks the payload plane itself:
+//
+//   - wire symmetry: the exact slot sequence of every frame a rank sends
+//     equals the receiving rank's recorded inbound layout, and both ends
+//     record the same payload size per slot;
+//   - route completeness: re-deriving every (src, dst) payload's
+//     dimension-ordered route from the world's own declared destination
+//     sets, each pair occupies exactly the frames on its route — and no
+//     frame carries a slot that no declared payload justifies;
+//   - delivery: each rank's delivery list is exactly the declared pairs
+//     destined for it, in sorted (src, dst) order.
+//
+// Every patched world should pass this; the dynamic-sparsity property
+// suite runs it after every mutation round.
+func VerifyLearnedWorld(ps []*Persistent) error {
+	var v verifyErrs
+	K := len(ps)
+	if K == 0 {
+		return errors.New("core: verify: empty world")
+	}
+	for r, p := range ps {
+		if p == nil {
+			v.addf("core: verify: rank %d has no persistent", r)
+		} else if p.rank != r {
+			v.addf("core: verify: slot %d holds rank %d's persistent", r, p.rank)
+		} else if !p.topo.Equal(ps[0].topo) {
+			v.addf("core: verify: rank %d learned on topology %v, rank 0 on %v", r, p.topo, ps[0].topo)
+		}
+	}
+	if len(v.errs) > 0 {
+		return v.join()
+	}
+	if ps[0].topo.Size() != K {
+		v.addf("core: verify: %d persistents for a %d-rank topology", K, ps[0].topo.Size())
+		return v.join()
+	}
+	t := ps[0].topo
+
+	// Wire symmetry: sender slot sequences versus receiver inbound layouts.
+	for r, p := range ps {
+		for d := range p.nbrFrames {
+			for _, nf := range p.nbrFrames[d] {
+				var sent []slotKey
+				if nf.f != nil {
+					sent = nf.f.slots
+				}
+				got, ok := ps[nf.to].learnedInSlots(d, r)
+				if !ok {
+					v.addf("core: verify: stage %d: rank %d sends to %d, which has no inbound layout for it", d, r, nf.to)
+					continue
+				}
+				if len(sent) != len(got) {
+					v.addf("core: verify: stage %d: frame %d->%d carries %d slots, receiver expects %d",
+						d, r, nf.to, len(sent), len(got))
+					continue
+				}
+				for i := range sent {
+					if sent[i] != got[i] {
+						v.addf("core: verify: stage %d: frame %d->%d slot %d is %d->%d on the sender, %d->%d on the receiver",
+							d, r, nf.to, i, sent[i].src, sent[i].dst, got[i].src, got[i].dst)
+						break
+					}
+					if ss, rs := p.sizes[sent[i]], ps[nf.to].sizes[sent[i]]; ss != rs {
+						v.addf("core: verify: stage %d: slot %d->%d sized %d on sender %d, %d on receiver %d",
+							d, sent[i].src, sent[i].dst, ss, r, rs, nf.to)
+						break
+					}
+				}
+			}
+		}
+	}
+	if len(v.errs) > 0 {
+		return v.join()
+	}
+
+	// Route completeness: replay every declared payload's route and demand
+	// exact set equality with the frames the world actually carries.
+	type worldFrame struct{ rank, d, to int }
+	expectOut := make(map[worldFrame]map[slotKey]bool)
+	expectDeliver := make([][]slotKey, K)
+	for src, p := range ps {
+		for _, dst := range p.destList {
+			k := slotKey{src: int32(src), dst: int32(dst)}
+			expectDeliver[dst] = append(expectDeliver[dst], k)
+			cur := src
+			for d := 0; d < t.N(); d++ {
+				next := t.RouteNext(cur, dst, d)
+				if next == cur {
+					continue
+				}
+				wf := worldFrame{cur, d, next}
+				if expectOut[wf] == nil {
+					expectOut[wf] = make(map[slotKey]bool)
+				}
+				expectOut[wf][k] = true
+				cur = next
+			}
+		}
+	}
+	for r, p := range ps {
+		for d := range p.nbrFrames {
+			for _, nf := range p.nbrFrames[d] {
+				want := expectOut[worldFrame{r, d, nf.to}]
+				var slots []slotKey
+				if nf.f != nil {
+					slots = nf.f.slots
+				}
+				if len(slots) != len(want) {
+					v.addf("core: verify: stage %d: frame %d->%d carries %d slots, the declared pattern routes %d through it",
+						d, r, nf.to, len(slots), len(want))
+					continue
+				}
+				for _, k := range slots {
+					if !want[k] {
+						v.addf("core: verify: stage %d: frame %d->%d carries slot %d->%d, which no declared payload routes through it",
+							d, r, nf.to, k.src, k.dst)
+					}
+				}
+			}
+		}
+		want := expectDeliver[r]
+		sortSlotKeys(want)
+		if len(want) != len(p.deliver) {
+			v.addf("core: verify: rank %d delivers %d payloads, the declared pattern sends it %d", r, len(p.deliver), len(want))
+			continue
+		}
+		for i := range want {
+			if want[i] != p.deliver[i] {
+				v.addf("core: verify: rank %d delivery %d is %d->%d, declared pattern says %d->%d",
+					r, i, p.deliver[i].src, p.deliver[i].dst, want[i].src, want[i].dst)
+				break
+			}
+		}
+	}
+	return v.join()
+}
+
+func sortSlotKeys(ks []slotKey) {
+	sort.Slice(ks, func(i, j int) bool { return lessSlot(ks[i], ks[j]) })
 }
 
 // WorldSchedules returns the dynamic front-end's schedule for every rank of

@@ -1,0 +1,150 @@
+package dynamic_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"stfw/internal/core"
+	"stfw/internal/dynamic"
+	"stfw/internal/runtime"
+	"stfw/internal/transport/chanpt"
+	"stfw/internal/vpt"
+)
+
+// routeInvolves reports whether rank me lies on the dimension-ordered route
+// of (src, dst) — origin, any forwarder, or destination. This re-derives
+// the census's coverage contract independently of its implementation.
+func routeInvolves(t *vpt.Topology, me, src, dst int) bool {
+	if src == me || dst == me {
+		return true
+	}
+	cur := src
+	for d := 0; d < t.N(); d++ {
+		cur = t.RouteNext(cur, dst, d)
+		if cur == me {
+			return true
+		}
+	}
+	return false
+}
+
+func sortPairs(ps []core.PatchPair) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return !a.Remove && b.Remove
+	})
+}
+
+// TestDiscoverCoverage runs the census over several shapes and checks the
+// coverage contract exactly: every rank receives precisely the announced
+// pairs whose route involves it — no more, no fewer — with op and size
+// intact.
+func TestDiscoverCoverage(t *testing.T) {
+	for _, c := range []struct{ K, n int }{{8, 3}, {8, 1}, {16, 2}} {
+		c := c
+		t.Run(fmt.Sprintf("K=%d/n=%d", c.K, c.n), func(t *testing.T) {
+			t.Parallel()
+			tp, err := vpt.NewBalanced(c.K, c.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := chanpt.NewWorld(c.K, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every rank announces one addition and one removal with
+			// rank-derived destinations and sizes.
+			deltas := make([]dynamic.Delta, c.K)
+			var all []core.PatchPair
+			for r := 0; r < c.K; r++ {
+				addDst := (r*3 + 1) % c.K
+				rmDst := (r*5 + 2) % c.K
+				deltas[r].Add = append(deltas[r].Add, dynamic.Announce{Dst: addDst, Size: 8 * (r + 1)})
+				all = append(all, core.PatchPair{Src: r, Dst: addDst, Size: 8 * (r + 1)})
+				if rmDst != addDst {
+					deltas[r].Remove = append(deltas[r].Remove, rmDst)
+					all = append(all, core.PatchPair{Src: r, Dst: rmDst, Remove: true})
+				}
+			}
+			got := make([]*core.PatchDelta, c.K)
+			err = runtime.Run(w.Comms(), func(cm runtime.Comm) error {
+				d, err := dynamic.Discover(cm, tp, deltas[cm.Rank()])
+				if err != nil {
+					return err
+				}
+				got[cm.Rank()] = d
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for me := 0; me < c.K; me++ {
+				var want []core.PatchPair
+				for _, pr := range all {
+					if routeInvolves(tp, me, pr.Src, pr.Dst) {
+						want = append(want, pr)
+					}
+				}
+				have := append([]core.PatchPair(nil), got[me].Pairs...)
+				sortPairs(want)
+				sortPairs(have)
+				if len(have) != len(want) {
+					t.Fatalf("rank %d: census returned %d pairs, want %d\nhave %+v\nwant %+v",
+						me, len(have), len(want), have, want)
+				}
+				for i := range want {
+					if have[i] != want[i] {
+						t.Fatalf("rank %d pair %d: got %+v, want %+v", me, i, have[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDiscoverValidation exercises the local rejection paths — they fail
+// before any frame is sent, so a single rank can probe them without the
+// rest of the world participating.
+func TestDiscoverValidation(t *testing.T) {
+	tp, err := vpt.NewBalanced(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := chanpt.NewWorld(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := w.Comms()[0]
+	cases := []struct {
+		name  string
+		delta dynamic.Delta
+	}{
+		{"dst-out-of-range", dynamic.Delta{Add: []dynamic.Announce{{Dst: 99, Size: 8}}}},
+		{"dst-negative", dynamic.Delta{Remove: []int{-1}}},
+		{"negative-size", dynamic.Delta{Add: []dynamic.Announce{{Dst: 1, Size: -8}}}},
+		{"duplicate-add", dynamic.Delta{Add: []dynamic.Announce{{Dst: 1, Size: 8}, {Dst: 1, Size: 16}}}},
+		{"duplicate-remove", dynamic.Delta{Remove: []int{1, 1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := dynamic.Discover(c0, tp, tc.delta); err == nil {
+				t.Fatal("census accepted an invalid delta")
+			}
+		})
+	}
+	// World-size mismatch.
+	small, err := vpt.NewBalanced(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dynamic.Discover(c0, small, dynamic.Delta{}); err == nil {
+		t.Fatal("census accepted a topology smaller than the world")
+	}
+}

@@ -56,6 +56,7 @@ const (
 	KStage
 	KForward
 	KDeliver
+	KPatch
 	numKinds
 )
 
@@ -77,6 +78,8 @@ func (k Kind) String() string {
 		return "forward"
 	case KDeliver:
 		return "deliver"
+	case KPatch:
+		return "patch"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -220,6 +223,13 @@ type Rank struct {
 	Barriers  atomic.Int64
 	BarrierNs atomic.Int64
 
+	// Patch counters: dynamic-sparsity schedule patches applied on this
+	// rank, the nanoseconds spent applying them, and the cumulative count
+	// of stages they dirtied (see core.Persistent.Patch).
+	Patches          atomic.Int64
+	PatchNs          atomic.Int64
+	PatchDirtyStages atomic.Int64
+
 	// FrameSizes observes the byte length of every frame this rank sends
 	// through a wrapped communicator; StageNs observes the duration of its
 	// stage-scoped spans (KStage, KForward, KDeliver). The histograms are
@@ -286,6 +296,22 @@ func (t *Rank) CountBarrier(ns int64) {
 	}
 	t.Barriers.Add(1)
 	t.BarrierNs.Add(ns)
+}
+
+// CountPatch records one applied schedule patch: the number of stages it
+// dirtied and the wall-clock duration of applying it. Patching is a
+// control-plane event (it happens between iterations, not inside them), so
+// the latency lands in the counters and a KPatch span rather than the
+// stage-scoped histograms.
+func (t *Rank) CountPatch(dirtyStages int, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Patches.Add(1)
+	t.PatchNs.Add(d.Nanoseconds())
+	t.PatchDirtyStages.Add(int64(dirtyStages))
+	now := time.Now()
+	t.SpanBetween(KPatch, -1, now.Add(-d), now)
 }
 
 // SpanSince records a span of the given kind that started at start and
@@ -375,12 +401,15 @@ func (t *Rank) Counters(stage int) CounterSnapshot {
 
 // RankSnapshot is the plain-value state of one rank at snapshot time.
 type RankSnapshot struct {
-	Rank      int               `json:"rank"`
-	Stages    []CounterSnapshot `json:"stages"`
-	Barriers  int64             `json:"barriers"`
-	BarrierNs int64             `json:"barrier_ns"`
-	Spans     []Span            `json:"-"`
-	SpanCount int64             `json:"span_count"`
+	Rank             int               `json:"rank"`
+	Stages           []CounterSnapshot `json:"stages"`
+	Barriers         int64             `json:"barriers"`
+	BarrierNs        int64             `json:"barrier_ns"`
+	Patches          int64             `json:"patches,omitempty"`
+	PatchNs          int64             `json:"patch_ns,omitempty"`
+	PatchDirtyStages int64             `json:"patch_dirty_stages,omitempty"`
+	Spans            []Span            `json:"-"`
+	SpanCount        int64             `json:"span_count"`
 }
 
 // Snapshot is a plain-value copy of the whole registry, suitable for
@@ -406,12 +435,15 @@ func (g *Registry) Snapshot() Snapshot {
 	for r := range g.ranks {
 		t := &g.ranks[r]
 		rs := RankSnapshot{
-			Rank:      r,
-			Stages:    make([]CounterSnapshot, len(t.stages)),
-			Barriers:  t.Barriers.Load(),
-			BarrierNs: t.BarrierNs.Load(),
-			Spans:     t.Spans(),
-			SpanCount: t.SpanCount(),
+			Rank:             r,
+			Stages:           make([]CounterSnapshot, len(t.stages)),
+			Barriers:         t.Barriers.Load(),
+			BarrierNs:        t.BarrierNs.Load(),
+			Patches:          t.Patches.Load(),
+			PatchNs:          t.PatchNs.Load(),
+			PatchDirtyStages: t.PatchDirtyStages.Load(),
+			Spans:            t.Spans(),
+			SpanCount:        t.SpanCount(),
 		}
 		for d := range t.stages {
 			rs.Stages[d] = t.Counters(d)

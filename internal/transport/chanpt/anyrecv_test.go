@@ -25,3 +25,24 @@ func TestTransportConformance(t *testing.T) {
 		TestOutOfRange:     true,
 	})
 }
+
+// TestTransportConformanceFaultDelay re-runs the contract suite with the
+// tptest fault injector delaying every send. Delay is the one fault class
+// that is fully contract-preserving (per-pair FIFO survives, only timing
+// shifts), so the whole suite must still pass — including strict arrival
+// order, because the suite sequences cross-rank sends and a delayed Send
+// still blocks the sender until the frame is enqueued.
+func TestTransportConformanceFaultDelay(t *testing.T) {
+	factory := tptest.WithFaults(func(size int) ([]runtime.Comm, func(), error) {
+		w, err := NewWorld(size, 4)
+		if err != nil {
+			return nil, nil, err
+		}
+		return w.Comms(), nil, nil
+	}, tptest.FaultConfig{Seed: 1, Delay: 1})
+	tptest.Run(t, factory, tptest.Options{
+		WantSendRetains:    true,
+		StrictArrivalOrder: true,
+		TestOutOfRange:     false, // range checks live in the inner transport, already covered above
+	})
+}

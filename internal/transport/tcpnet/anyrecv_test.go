@@ -24,3 +24,20 @@ func TestTransportConformance(t *testing.T) {
 		TestClose:       true,
 	})
 }
+
+// TestTransportConformanceFaultDelay re-runs the contract suite over TCP
+// with the tptest fault injector delaying every send — the timing-only
+// fault class every conforming transport must absorb.
+func TestTransportConformanceFaultDelay(t *testing.T) {
+	factory := tptest.WithFaults(func(size int) ([]runtime.Comm, func(), error) {
+		w, err := NewWorld(size)
+		if err != nil {
+			return nil, nil, err
+		}
+		return w.Comms(), func() { w.Close() }, nil
+	}, tptest.FaultConfig{Seed: 1, Delay: 1})
+	tptest.Run(t, factory, tptest.Options{
+		WantSendRetains: false,
+		TestClose:       true,
+	})
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package stfw
+
+const raceEnabled = false

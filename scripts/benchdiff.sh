@@ -1,5 +1,5 @@
 #!/usr/bin/env sh
-# benchdiff.sh BASE.txt HEAD.txt MAX_REGRESS_PCT
+# benchdiff.sh BASE.txt HEAD.txt MAX_REGRESS_PCT [REQUIRED]
 #
 # Compares `go test -bench` outputs: for every benchmark present in both
 # files, the mean ns/op over all -count repetitions is compared, and the
@@ -7,17 +7,23 @@
 # percent slower than its base mean. Benchmarks present in only one file
 # (added or removed by the change) are reported and skipped.
 #
+# REQUIRED, when given, is a comma-separated list of benchmark names (as
+# they appear in the output, minus the -GOMAXPROCS suffix) that must be
+# present in HEAD; a missing one fails the gate. This catches a renamed or
+# silently dropped benchmark that the present-in-both comparison would
+# otherwise skip with only a REMOVED note.
+#
 # This is deliberately dependency-free (POSIX sh + awk). For a statistically
 # richer report, run benchstat over the same two files; this script is only
 # the red/green gate.
 set -eu
 
-if [ $# -ne 3 ]; then
-    echo "usage: $0 BASE.txt HEAD.txt MAX_REGRESS_PCT" >&2
+if [ $# -lt 3 ] || [ $# -gt 4 ]; then
+    echo "usage: $0 BASE.txt HEAD.txt MAX_REGRESS_PCT [REQUIRED]" >&2
     exit 2
 fi
 
-awk -v limit="$3" '
+awk -v limit="$3" -v required="${4-}" '
 FNR == 1 { file++ }
 /^Benchmark/ && $3 == "ns/op" || /^Benchmark/ && $4 == "ns/op" {
     name = $1
@@ -39,8 +45,18 @@ END {
         if (delta > limit) { status = "REGRESS "; fail = 1 }
         printf "%s %-60s base %14.0f ns/op   head %14.0f ns/op   %+7.1f%%\n", status, n, base, head, delta
     }
+    if (required != "") {
+        n = split(required, req, ",")
+        for (i = 1; i <= n; i++) {
+            if (req[i] == "") continue
+            if (!cnt[2 "|" req[i]]) {
+                printf "MISSING  %s (required, absent from head)\n", req[i]
+                fail = 1
+            }
+        }
+    }
     if (fail) {
-        printf "\nFAIL: at least one benchmark regressed by more than %s%%\n", limit
+        printf "\nFAIL: a benchmark regressed by more than %s%% or a required benchmark is missing\n", limit
         exit 1
     }
 }' "$1" "$2"
