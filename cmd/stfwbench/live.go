@@ -13,6 +13,8 @@ import (
 	"stfw/internal/spmv"
 	"stfw/internal/telemetry"
 	"stfw/internal/transport/chanpt"
+	"stfw/internal/transport/tcpnet"
+	"stfw/internal/transport/udpnet"
 	"stfw/internal/vpt"
 )
 
@@ -34,6 +36,11 @@ const (
 // the compiled lowering with pipelined receives (DESIGN.md §8), so the
 // trace shows both engine disciplines side by side.
 func runLive(c experiments.Config, cfg benchConfig, reg *telemetry.Registry) error {
+	if cfg.procs > 1 {
+		// Multi-process loopback mode replaces the in-process SpMV run
+		// with a wire-only learned-replay collective (see udp.go).
+		return runUDPProcs(cfg)
+	}
 	a, err := sparse.CatalogMatrix(liveMatrix, c.Scale)
 	if err != nil {
 		return err
@@ -63,11 +70,36 @@ func runLive(c experiments.Config, cfg benchConfig, reg *telemetry.Registry) err
 		x[i] = rng.NormFloat64()
 	}
 
-	w, err := chanpt.NewWorld(liveK, liveK)
-	if err != nil {
-		return err
+	var comms []runtime.Comm
+	switch cfg.transport {
+	case "", "chan":
+		w, err := chanpt.NewWorld(liveK, liveK)
+		if err != nil {
+			return err
+		}
+		comms = w.Comms()
+	case "tcp":
+		w, err := tcpnet.NewWorld(liveK)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		comms = w.Comms()
+	case "udp":
+		w, err := udpnet.NewWorld(liveK)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			w.Close()
+			st := w.Stats()
+			fmt.Printf("udpnet: %d data dgrams in %d batches, %d resends, %d stage acks, %d acks suppressed\n",
+				st.DataSent, st.Batches, st.Resends, st.StageAcks, st.AcksSuppressed)
+		}()
+		comms = w.Comms()
+	default:
+		return fmt.Errorf("unknown transport %q (want chan, tcp, or udp)", cfg.transport)
 	}
-	comms := w.Comms()
 	stages := tp.N()
 	reg.WrapComms(comms, func(tag int) (int, bool) {
 		return core.TagStage(tag, stages)

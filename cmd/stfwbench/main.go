@@ -41,9 +41,22 @@ type benchConfig struct {
 	debugAddr  string
 	cpuProfile string
 	memProfile string
+	transport  string
+	procs      int
 }
 
 func main() {
+	// A re-exec'd slice of the -procs multi-process world skips the CLI
+	// entirely; its configuration arrives via environment and inherited
+	// file descriptors (see udp.go).
+	if os.Getenv(udpChildEnv) != "" {
+		if err := runUDPChild(); err != nil {
+			fmt.Fprintf(os.Stderr, "stfwbench (udp child): %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var cfg benchConfig
 	exp := flag.String("exp", "all", "experiment to run: table1, fig1, table2, fig6, fig7, fig8, fig9, table3, fig10, partitioners, skew, mapping, stencil, dynamic, live, all")
 	verify := flag.Bool("verify", false, "run the whole-world schedule verifier over the conformance topologies and exit")
@@ -53,6 +66,8 @@ func main() {
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /debug (expvar, pprof, telemetry) on this address while running")
 	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile to this file at exit")
+	flag.StringVar(&cfg.transport, "transport", "chan", "live-run transport: chan (in-process channels), tcp (loopback TCP streams), udp (batched loopback datagrams)")
+	flag.IntVar(&cfg.procs, "procs", 1, "with -transport udp: split the live world across this many OS processes (loopback multi-process mode)")
 	flag.Parse()
 
 	if *verify {

@@ -1,0 +1,185 @@
+package main
+
+// Multi-process loopback mode for the udpnet transport: -transport udp
+// -procs P splits the K=64 live world across P OS processes, each owning a
+// contiguous slice of ranks behind its own sockets. The parent binds every
+// rank's UDP socket up front (so no rendezvous protocol is needed),
+// re-execs itself P times passing each child its slice via inherited file
+// descriptors, and waits. The children form one world purely over the
+// wire — sends, credits, acks, and the barrier all cross process
+// boundaries — and run a learned-replay throughput loop, each reporting
+// its observed transport stats.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"stfw/internal/core"
+	"stfw/internal/runtime"
+	"stfw/internal/transport/udpnet"
+	"stfw/internal/vpt"
+)
+
+const (
+	udpChildEnv  = "STFW_UDP_CHILD"
+	udpProcDim   = 2 // dims [8,8] at K=64: the wide-radix shape
+	udpProcIters = 200
+	udpProcDests = 8
+	udpProcBytes = 256
+)
+
+// udpProcPayloads is the deterministic per-rank payload pattern every
+// process derives independently (no cross-process coordination needed).
+func udpProcPayloads(K, rank int) map[int][]byte {
+	rng := rand.New(rand.NewSource(int64(K)*11 + int64(rank)))
+	m := map[int][]byte{}
+	for len(m) < udpProcDests {
+		dst := rng.Intn(K)
+		if dst == rank {
+			continue
+		}
+		m[dst] = bytes.Repeat([]byte{byte(rank)}, udpProcBytes)
+	}
+	return m
+}
+
+// runUDPProcs is the parent: bind all K sockets, fork P children each
+// inheriting its slice, wait for the collective to finish.
+func runUDPProcs(cfg benchConfig) error {
+	K, procs := liveK, cfg.procs
+	if cfg.transport != "udp" {
+		return fmt.Errorf("-procs %d requires -transport udp", procs)
+	}
+	if procs < 2 || K%procs != 0 {
+		return fmt.Errorf("-procs must be a divisor of %d greater than 1, got %d", K, procs)
+	}
+	conns, addrs, err := udpnet.Bind(K)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	per := K / procs
+	fmt.Printf("udp multi-process loopback: K=%d over %d processes (%d ranks each), %d replay iterations\n",
+		K, procs, per, udpProcIters)
+	var cmds []*exec.Cmd
+	for p := 0; p < procs; p++ {
+		lo := p * per
+		files := make([]*os.File, per)
+		for i := range files {
+			f, err := conns[lo+i].File()
+			if err != nil {
+				return err
+			}
+			files[i] = f
+		}
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			udpChildEnv+"=1",
+			fmt.Sprintf("STFW_UDP_SIZE=%d", K),
+			fmt.Sprintf("STFW_UDP_FIRST=%d", lo),
+			fmt.Sprintf("STFW_UDP_COUNT=%d", per),
+			"STFW_UDP_ADDRS="+strings.Join(addrs, ","))
+		cmd.ExtraFiles = files
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("start child %d: %w", p, err)
+		}
+		// The child owns dups of the fds now; drop the parent's copies.
+		for _, f := range files {
+			f.Close()
+		}
+		cmds = append(cmds, cmd)
+	}
+	var firstErr error
+	for p, cmd := range cmds {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("child %d: %w", p, err)
+		}
+	}
+	return firstErr
+}
+
+// runUDPChild is one slice of the multi-process world: rebuild the local
+// sockets from inherited descriptors, join the world via NewGroup, and run
+// the learned-replay loop.
+func runUDPChild() error {
+	size, err := strconv.Atoi(os.Getenv("STFW_UDP_SIZE"))
+	if err != nil {
+		return fmt.Errorf("STFW_UDP_SIZE: %w", err)
+	}
+	first, err := strconv.Atoi(os.Getenv("STFW_UDP_FIRST"))
+	if err != nil {
+		return fmt.Errorf("STFW_UDP_FIRST: %w", err)
+	}
+	count, err := strconv.Atoi(os.Getenv("STFW_UDP_COUNT"))
+	if err != nil {
+		return fmt.Errorf("STFW_UDP_COUNT: %w", err)
+	}
+	addrs := strings.Split(os.Getenv("STFW_UDP_ADDRS"), ",")
+	if len(addrs) != size {
+		return fmt.Errorf("got %d addrs for world size %d", len(addrs), size)
+	}
+	local := make([]int, count)
+	conns := make([]*net.UDPConn, count)
+	for i := 0; i < count; i++ {
+		local[i] = first + i
+		f := os.NewFile(uintptr(3+i), fmt.Sprintf("udp-rank-%d", first+i))
+		pc, err := net.FilePacketConn(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("rank %d socket: %w", first+i, err)
+		}
+		uc, ok := pc.(*net.UDPConn)
+		if !ok {
+			return fmt.Errorf("rank %d: inherited fd is %T, not UDP", first+i, pc)
+		}
+		conns[i] = uc
+	}
+	w, err := udpnet.NewGroup(udpnet.GroupConfig{Size: size, Local: local, Conns: conns, Addrs: addrs})
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	tp, err := vpt.NewBalanced(size, udpProcDim)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	err = runtime.Run(w.Comms(), func(c runtime.Comm) error {
+		payloads := udpProcPayloads(size, c.Rank())
+		p, _, err := core.NewPersistent(c, tp, payloads)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < udpProcIters; i++ {
+			if _, err := p.Run(c, payloads); err != nil {
+				return err
+			}
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		return err
+	}
+	st := w.Stats()
+	fmt.Printf("ranks [%d,%d): %d data dgrams in %d batches, %d resends, %d stage acks, %d credit stalls, %v elapsed\n",
+		first, first+count, st.DataSent, st.Batches, st.Resends, st.StageAcks, st.CreditStalls,
+		time.Since(start).Round(time.Millisecond))
+	return nil
+}

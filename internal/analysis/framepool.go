@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // Framepool enforces the frame-arena ownership discipline documented in
@@ -21,9 +22,16 @@ import (
 // msg codec calls, and calls to functions in the same package borrow the
 // buffer; calls into other packages and stores into non-local memory take
 // ownership. Deliberate exceptions are annotated //stfw:ignore framepool.
+//
+// The same single-holder discipline governs udpnet's packet-buffer ring
+// (internal/transport/udpnet.PacketRing): buffers minted by Get must reach
+// Put (or escape into the window/backlog structures) on every path, must
+// not be used after Put, and must not be Put as a front-dropping reslice —
+// the ring rejects buffers whose capacity changed. Get/Put sites are
+// tracked with the same machinery as GetFrame*/PutFrame.
 var Framepool = &Analyzer{
 	Name: "framepool",
-	Doc:  "check that every pooled frame buffer is PutFrame'd or handed off on all paths",
+	Doc:  "check that every pooled buffer (msg frame arena, udpnet packet ring) is released or handed off on all paths",
 	Run:  runFramepool,
 }
 
@@ -59,9 +67,34 @@ func runFramepool(pass *Pass) error {
 	return nil
 }
 
-// isFrameSource reports whether the call mints a pooled buffer.
+// isFrameSource reports whether the call mints a pooled buffer: a msg
+// frame-arena Get or a udpnet PacketRing.Get.
 func isFrameSource(info *types.Info, call *ast.CallExpr) bool {
-	return isPkgFunc(calleeFunc(info, call), "internal/msg", "GetFrame", "GetFrameCap", "GetFrameLen")
+	fn := calleeFunc(info, call)
+	return isPkgFunc(fn, "internal/msg", "GetFrame", "GetFrameCap", "GetFrameLen") ||
+		isRingMethod(fn, "Get")
+}
+
+// isRingMethod reports whether fn is the named method on udpnet's
+// PacketRing (pointer or value receiver).
+func isRingMethod(fn *types.Func, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	if p != "internal/transport/udpnet" && !strings.HasSuffix(p, "/internal/transport/udpnet") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "PacketRing"
 }
 
 // checkFrameSource follows one GetFrame* call to its binding and runs the
@@ -86,8 +119,9 @@ func checkFrameSource(pass *Pass, parents map[ast.Node]ast.Node, src *ast.CallEx
 			continue
 		}
 		if c, ok := p.(*ast.CallExpr); ok &&
-			isPkgFunc(calleeFunc(info, c), "internal/msg", "Encode") &&
-			len(c.Args) > 0 && ast.Unparen(c.Args[0]) == expr {
+			len(c.Args) > 0 && ast.Unparen(c.Args[0]) == expr &&
+			(isPkgFunc(calleeFunc(info, c), "internal/msg", "Encode") ||
+				isAppendShaped(pass, c)) {
 			expr = c
 			continue
 		}
@@ -101,7 +135,12 @@ func checkFrameSource(pass *Pass, parents map[ast.Node]ast.Node, src *ast.CallEx
 				continue
 			}
 			id, ok := p.Lhs[i].(*ast.Ident)
-			if !ok || id.Name == "_" {
+			if !ok {
+				// Stored straight into a slice slot, field, or deref:
+				// ownership moves into the structure.
+				return
+			}
+			if id.Name == "_" {
 				pass.Reportf(src.Pos(), "pooled frame is dropped without PutFrame")
 				return
 			}
@@ -137,6 +176,27 @@ func checkFrameSource(pass *Pass, parents map[ast.Node]ast.Node, src *ast.CallEx
 	default:
 		pass.Reportf(src.Pos(), "pooled frame is never released (PutFrame it, Send it, or annotate //stfw:ignore framepool)")
 	}
+}
+
+// isAppendShaped reports whether the call is an intra-package append-style
+// builder — first parameter []byte, single []byte result — through which
+// the fresh buffer flows to the call's own result (udpnet's buildAck is
+// the canonical case). The mint tracking climbs through such calls the
+// same way it climbs through msg.Encode.
+func isAppendShaped(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() != pass.Pkg {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	isByteSlice := func(t types.Type) bool {
+		s, ok := t.(*types.Slice)
+		return ok && types.Identical(s.Elem(), types.Typ[types.Byte])
+	}
+	return isByteSlice(sig.Params().At(0).Type()) && isByteSlice(sig.Results().At(0).Type())
 }
 
 // declStmtFor finds the DeclStmt wrapping a ValueSpec, nil for file-level
@@ -215,12 +275,19 @@ func enclosingBlock(parents map[ast.Node]ast.Node, n ast.Node) *ast.BlockStmt {
 // classifyUse decides what one occurrence of the tracked variable does to
 // its ownership.
 func classifyUse(pass *Pass, parents map[ast.Node]ast.Node, id *ast.Ident) useKind {
+	return classifyFrom(pass, parents, id, pass.TypesInfo.Uses[id], id.Name)
+}
+
+// classifyFrom classifies the context of an expression standing for the
+// tracked buffer — the identifier itself, or a call (append, builder)
+// whose result is the same buffer.
+func classifyFrom(pass *Pass, parents map[ast.Node]ast.Node, start ast.Node, obj types.Object, name string) useKind {
 	info := pass.TypesInfo
 
 	// Climb through parens and slicings: PutFrame(v[:0]) releases v. A
 	// reslice that drops the front loses the pool size class — flagged at
 	// the PutFrame below.
-	expr := ast.Node(id)
+	expr := start
 	slicedFront := false
 	for {
 		p := parents[expr]
@@ -244,7 +311,7 @@ func classifyUse(pass *Pass, parents map[ast.Node]ast.Node, id *ast.Ident) useKi
 			if ast.Unparen(arg) == expr {
 				kind := classifyCallUse(pass, parents, p, expr)
 				if kind == useRelease && slicedFront && isPutFrame(info, p) {
-					pass.Reportf(p.Pos(), "PutFrame of resliced %s drops the buffer's front and its pool size class; put the original slice", id.Name)
+					pass.Reportf(p.Pos(), "PutFrame of resliced %s drops the buffer's front and its pool size class; put the original slice", name)
 				}
 				return kind
 			}
@@ -266,8 +333,8 @@ func classifyUse(pass *Pass, parents map[ast.Node]ast.Node, id *ast.Ident) useKi
 			}
 			switch lhs := p.Lhs[i].(type) {
 			case *ast.Ident:
-				if info.Uses[lhs] != nil && info.Uses[lhs] == pass.TypesInfo.Uses[id] {
-					return useNeutral // self reslice: v = v[:n]
+				if obj != nil && info.Uses[lhs] == obj {
+					return useNeutral // self reslice or regrow: v = v[:n], v = append(v, ...)
 				}
 				return useEscape // aliased into another variable
 			default:
@@ -301,9 +368,14 @@ func classifyCallUse(pass *Pass, parents map[ast.Node]ast.Node, call *ast.CallEx
 		return useNeutral
 	case "append":
 		if len(call.Args) > 0 && ast.Unparen(call.Args[0]) == arg {
-			// b = append(b, ...): growth of the tracked buffer; the
-			// assignment classification decides aliasing.
-			return classifyUse(pass, parents, firstIdentIn(arg))
+			// append(b, ...): the result is (a possibly regrown alias of)
+			// the tracked buffer, so how the append call itself is used —
+			// self-assigned, stored, returned — decides ownership.
+			id := firstIdentIn(arg)
+			if id == nil {
+				return useEscape
+			}
+			return classifyFrom(pass, parents, call, info.Uses[id], id.Name)
 		}
 		if call.Ellipsis != token.NoPos {
 			return useNeutral // append(x, v...): bytes are copied out
@@ -347,7 +419,8 @@ func firstIdentIn(n ast.Node) *ast.Ident {
 }
 
 func isPutFrame(info *types.Info, call *ast.CallExpr) bool {
-	return isPkgFunc(calleeFunc(info, call), "internal/msg", "PutFrame")
+	fn := calleeFunc(info, call)
+	return isPkgFunc(fn, "internal/msg", "PutFrame") || isRingMethod(fn, "Put")
 }
 
 // isCommSend matches the transport send shape of runtime.Comm:

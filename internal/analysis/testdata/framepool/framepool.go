@@ -7,6 +7,7 @@ package framepool
 
 import (
 	"stfw/internal/msg"
+	"stfw/internal/transport/udpnet"
 )
 
 // comm has the transport Send shape ownership transfers through.
@@ -123,4 +124,70 @@ func badDroppedResult(n int) {
 func okAnnotatedLeak(n int) int {
 	buf := msg.GetFrameLen(n) //stfw:ignore framepool
 	return len(buf)
+}
+
+// --- udpnet PacketRing: the same single-holder discipline ---
+
+// appendShaped is the intra-package builder shape the mint tracking climbs
+// through (udpnet's buildAck): the fresh buffer flows to the result.
+func appendShaped(b []byte, v byte) []byte { return append(b, v) }
+
+func okRingGetThenPut(r *udpnet.PacketRing) int {
+	b := r.Get()
+	b = append(b, 1, 2, 3)
+	n := len(b)
+	r.Put(b)
+	return n
+}
+
+func okRingPutEmptyReslice(r *udpnet.PacketRing) {
+	b := r.Get()
+	r.Put(b[:0])
+}
+
+func okRingMintThroughBuilder(r *udpnet.PacketRing) {
+	b := appendShaped(r.Get(), 7)
+	r.Put(b)
+}
+
+func okRingEscapeIntoSlot(r *udpnet.PacketRing, slots [][]byte) {
+	slots[0] = r.Get() // slot owner releases it later
+}
+
+func badRingNeverReleased(r *udpnet.PacketRing) int {
+	b := r.Get() // want "never released"
+	return len(b)
+}
+
+func badRingLeakOnEarlyReturn(r *udpnet.PacketRing, fill func() error) error {
+	b := r.Get()
+	if err := fill(); err != nil {
+		return err // want "leaks on this return path"
+	}
+	r.Put(b)
+	return nil
+}
+
+func badRingOneBranchOnly(r *udpnet.PacketRing, cond bool) {
+	b := r.Get() // want "not released on every path"
+	if cond {
+		r.Put(b)
+	}
+}
+
+func badRingUseAfterPut(r *udpnet.PacketRing) int {
+	b := r.Get()
+	r.Put(b)
+	return len(b) // want "after PutFrame"
+}
+
+func badRingDoublePut(r *udpnet.PacketRing) {
+	b := r.Get()
+	r.Put(b)
+	r.Put(b) // want "double PutFrame"
+}
+
+func badRingPutFrontReslice(r *udpnet.PacketRing) {
+	b := r.Get()
+	r.Put(b[2:]) // want "drops the buffer's front"
 }

@@ -56,6 +56,11 @@ type Replay struct {
 	// tele, when set, records per-stage gather/forward/deliver spans and
 	// forwarded byte counts; see Instrument.
 	tele *telemetry.Rank
+	// traffic is the compiled schedule's transport hint (computeTraffic),
+	// offered to the transport at the top of every Run. Cached so the
+	// steady-state iteration stays allocation-free; PatchCompiled rebuilds
+	// it when re-lowering changes frame sizes.
+	traffic []runtime.StageTraffic
 }
 
 // Instrument attaches a live telemetry collector to the replay: every Run
@@ -224,6 +229,7 @@ func (p *Persistent) Compile(xlen int, gather map[int][]int32) (*Replay, error) 
 	r.inFrames = make([][]byte, nextFrame)
 	r.pending = make([]int, 0, maxNbrs)
 	r.inLoc = inLoc
+	r.traffic = r.computeTraffic()
 	return r, nil
 }
 
@@ -366,6 +372,7 @@ func NewDirectReplay(me, size, xlen int, gather map[int][]int32, srcWords map[in
 	r.stages = []rStage{st}
 	r.inFrames = make([][]byte, len(st.recvFrom))
 	r.pending = make([]int, 0, len(st.recvFrom))
+	r.traffic = r.computeTraffic()
 	return r, nil
 }
 
@@ -390,6 +397,7 @@ func (r *Replay) Run(c runtime.Comm, x []float64, halo []float64) error {
 	if len(halo) != r.haloWords {
 		return fmt.Errorf("core: replay delivers %d words, halo has %d", r.haloWords, len(halo))
 	}
+	runtime.HintTraffic(c, r.traffic)
 	defer r.release()
 
 	var mark time.Time

@@ -19,6 +19,7 @@ import (
 	"stfw/internal/telemetry"
 	"stfw/internal/transport/chanpt"
 	"stfw/internal/transport/tcpnet"
+	"stfw/internal/transport/udpnet"
 	"stfw/internal/vpt"
 )
 
@@ -249,6 +250,39 @@ func TestConformanceTCP(t *testing.T) {
 	}
 }
 
+// TestConformanceUDP runs the full differential suite over udpnet's
+// batched-datagram transport. Unlike tcpnet, the K=64 mesh is kept: udpnet
+// opens one socket per rank regardless of radix, so fd pressure never
+// scales with K^2. Every world is VerifyWorld-gated so a schedule bug is
+// reported as such, not as a transport failure.
+func TestConformanceUDP(t *testing.T) {
+	for _, tp := range conformanceTopologies(t) {
+		if testing.Short() && tp.Size() > 16 {
+			continue
+		}
+		for _, ordered := range []bool{false, true} {
+			tp := tp
+			ordered := ordered
+			t.Run(fmt.Sprintf("K=%d/dims=%v/%s", tp.Size(), tp.Dims(), engineName(ordered)), func(t *testing.T) {
+				if err := core.VerifyWorld(core.WorldSchedules(tp)); err != nil {
+					t.Fatalf("schedule world invalid before transport test: %v", err)
+				}
+				w, err := udpnet.NewWorld(tp.Size())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer w.Close()
+				dests := confSendSets(int64(tp.Size()), tp.Size())
+				var opts []core.ExchangeOpt
+				if ordered {
+					opts = append(opts, core.Ordered())
+				}
+				runConformance(t, w.Comms(), tp, dests, opts...)
+			})
+		}
+	}
+}
+
 // TestConformanceDirect runs the same differential check for the baseline
 // DirectExchange on both engines over both transports.
 func TestConformanceDirect(t *testing.T) {
@@ -309,6 +343,14 @@ func TestConformanceDirect(t *testing.T) {
 		})
 		t.Run("tcpnet/"+engineName(ordered), func(t *testing.T) {
 			w, err := tcpnet.NewWorld(K)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Close()
+			run(t, w.Comms(), opts...)
+		})
+		t.Run("udpnet/"+engineName(ordered), func(t *testing.T) {
+			w, err := udpnet.NewWorld(K)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -447,9 +489,9 @@ func runPersistentConformance(t *testing.T, comms []runtime.Comm, tp *vpt.Topolo
 // transports under both receive disciplines: every replay's deliveries are
 // bit-identical to the reference the seed ordered engine is held to.
 func TestConformancePersistent(t *testing.T) {
-	for _, transport := range []string{"chanpt", "tcpnet"} {
+	for _, transport := range []string{"chanpt", "tcpnet", "udpnet"} {
 		for _, tp := range persistentConformanceTopologies(t, transport == "tcpnet") {
-			if transport == "tcpnet" && testing.Short() && tp.Size() > 8 {
+			if transport != "chanpt" && testing.Short() && tp.Size() > 8 {
 				continue
 			}
 			for _, ordered := range []bool{false, true} {
@@ -458,15 +500,23 @@ func TestConformancePersistent(t *testing.T) {
 				transport := transport
 				t.Run(fmt.Sprintf("%s/K=%d/dims=%v/%s", transport, tp.Size(), tp.Dims(), engineName(ordered)), func(t *testing.T) {
 					var comms []runtime.Comm
-					if transport == "chanpt" {
+					switch transport {
+					case "chanpt":
 						t.Parallel()
 						w, err := chanpt.NewWorld(tp.Size(), 2)
 						if err != nil {
 							t.Fatal(err)
 						}
 						comms = w.Comms()
-					} else {
+					case "tcpnet":
 						w, err := tcpnet.NewWorld(tp.Size())
+						if err != nil {
+							t.Fatal(err)
+						}
+						defer w.Close()
+						comms = w.Comms()
+					case "udpnet":
+						w, err := udpnet.NewWorld(tp.Size())
 						if err != nil {
 							t.Fatal(err)
 						}
@@ -583,9 +633,9 @@ func runReplayConformance(t *testing.T, comms []runtime.Comm, tp *vpt.Topology, 
 // on both transports, in arrival order and (via forceOrdered) in fixed
 // receive order: the halos must match the reference exactly in every round.
 func TestConformanceReplay(t *testing.T) {
-	for _, transport := range []string{"chanpt", "tcpnet"} {
+	for _, transport := range []string{"chanpt", "tcpnet", "udpnet"} {
 		for _, tp := range persistentConformanceTopologies(t, transport == "tcpnet") {
-			if transport == "tcpnet" && testing.Short() && tp.Size() > 8 {
+			if transport != "chanpt" && testing.Short() && tp.Size() > 8 {
 				continue
 			}
 			for _, ordered := range []bool{false, true} {
@@ -594,15 +644,23 @@ func TestConformanceReplay(t *testing.T) {
 				transport := transport
 				t.Run(fmt.Sprintf("%s/K=%d/dims=%v/%s", transport, tp.Size(), tp.Dims(), engineName(ordered)), func(t *testing.T) {
 					var comms []runtime.Comm
-					if transport == "chanpt" {
+					switch transport {
+					case "chanpt":
 						t.Parallel()
 						w, err := chanpt.NewWorld(tp.Size(), 2)
 						if err != nil {
 							t.Fatal(err)
 						}
 						comms = w.Comms()
-					} else {
+					case "tcpnet":
 						w, err := tcpnet.NewWorld(tp.Size())
+						if err != nil {
+							t.Fatal(err)
+						}
+						defer w.Close()
+						comms = w.Comms()
+					case "udpnet":
+						w, err := udpnet.NewWorld(tp.Size())
 						if err != nil {
 							t.Fatal(err)
 						}

@@ -44,6 +44,12 @@ type stageMachine struct {
 	ordered    bool
 	inlineSend bool // pipelined only: issue pooled sends inline instead of via the worker
 	tele       *telemetry.Rank
+	// traffic, when set, is the schedule's per-stage traffic summary,
+	// offered to the transport (runtime.HintTraffic) before the first
+	// stage so schedule-aware transports can run zero-speculation flow
+	// control. Front-ends pass a cached slice, keeping repeat runs
+	// allocation-free.
+	traffic []runtime.StageTraffic
 	outSubs func(stage, slot int, s SendSlot) ([]msg.Submessage, error)
 	onFrame func(stage, from int, subs []msg.Submessage) (deliveredBytes int, err error)
 	onStage func(stage, deliveredBytes int)
@@ -55,6 +61,7 @@ type stageMachine struct {
 // and replay) all pass through here, and Replay.Run is the compiled
 // specialization of the same structure.
 func (sm *stageMachine) run(c runtime.Comm, me int) error {
+	runtime.HintTraffic(c, sm.traffic)
 	var (
 		sw        *sendWorker
 		retained  [][]byte     // pipelined: received pooled frames, recycled on return
@@ -123,7 +130,7 @@ func (sm *stageMachine) run(c runtime.Comm, me int) error {
 				}
 			}
 		} else {
-			outs := frameArr[len(frameArr):len(frameArr):len(frameArr)+len(st.Sends)]
+			outs := frameArr[len(frameArr) : len(frameArr) : len(frameArr)+len(st.Sends)]
 			for j := range st.Sends {
 				slot := st.Sends[j]
 				subs, err := sm.outSubs(d, j, slot)

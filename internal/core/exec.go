@@ -163,6 +163,7 @@ func Exchange(c runtime.Comm, t *vpt.Topology, payloads map[int][]byte, opts ...
 		sched:   sched,
 		ordered: opt.ordered,
 		tele:    opt.tele,
+		traffic: sched.Traffic(),
 		// Lines 9-12: each outbound frame drains the forward buffer keyed by
 		// the destination's dimension-d digit.
 		outSubs: func(d, _ int, slot SendSlot) ([]msg.Submessage, error) {
@@ -263,6 +264,7 @@ func DirectExchange(c runtime.Comm, payloads map[int][]byte, recvFrom []int, opt
 		sched:   sched,
 		ordered: opt.ordered,
 		tele:    opt.tele,
+		traffic: sched.Traffic(),
 		outSubs: func(_, _ int, slot SendSlot) ([]msg.Submessage, error) {
 			subArr = append(subArr, msg.Submessage{Src: me, Dst: slot.To, Data: payloads[slot.To]})
 			return subArr[len(subArr)-1:], nil

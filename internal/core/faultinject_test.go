@@ -23,6 +23,7 @@ import (
 	"stfw/internal/transport/chanpt"
 	"stfw/internal/transport/tcpnet"
 	"stfw/internal/transport/tptest"
+	"stfw/internal/transport/udpnet"
 	"stfw/internal/vpt"
 )
 
@@ -61,6 +62,13 @@ func faultWorld(t *testing.T, transport string, K, buffer int, cfg tptest.FaultC
 		}
 		t.Cleanup(w.Close)
 		comms = w.Comms()
+	case "udpnet":
+		w, err := udpnet.NewWorld(K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Close)
+		comms = w.Comms()
 	default:
 		t.Fatalf("unknown transport %q", transport)
 	}
@@ -73,9 +81,9 @@ func faultWorld(t *testing.T, transport string, K, buffer int, cfg tptest.FaultC
 // Output must be bit-identical to the fault-free reference.
 func TestConformanceFaultDelay(t *testing.T) {
 	cfg := tptest.FaultConfig{Seed: 11, Delay: 0.5, MaxDelay: 100 * time.Microsecond}
-	for _, transport := range []string{"chanpt", "tcpnet"} {
+	for _, transport := range []string{"chanpt", "tcpnet", "udpnet"} {
 		for _, tp := range faultTopologies(t) {
-			if transport == "tcpnet" && testing.Short() && tp.Size() > 8 {
+			if transport != "chanpt" && testing.Short() && tp.Size() > 8 {
 				continue
 			}
 			for _, ordered := range []bool{false, true} {
@@ -118,9 +126,9 @@ func TestConformanceFaultReorder(t *testing.T) {
 		}
 		wide = append(wide, tp)
 	}
-	for _, transport := range []string{"chanpt", "tcpnet"} {
+	for _, transport := range []string{"chanpt", "tcpnet", "udpnet"} {
 		for _, tp := range wide {
-			if transport == "tcpnet" && testing.Short() && tp.Size() > 8 {
+			if transport != "chanpt" && testing.Short() && tp.Size() > 8 {
 				continue
 			}
 			tp, transport := tp, transport
@@ -149,9 +157,9 @@ func TestConformanceFaultReorder(t *testing.T) {
 // duplicates can never exhaust per-pair matcher capacity.
 func TestConformanceFaultDuplicate(t *testing.T) {
 	cfg := tptest.FaultConfig{Seed: 31, Duplicate: 0.5}
-	for _, transport := range []string{"chanpt", "tcpnet"} {
+	for _, transport := range []string{"chanpt", "tcpnet", "udpnet"} {
 		for _, tp := range faultTopologies(t) {
-			if transport == "tcpnet" && testing.Short() && tp.Size() > 8 {
+			if transport != "chanpt" && testing.Short() && tp.Size() > 8 {
 				continue
 			}
 			tp, transport := tp, transport

@@ -344,6 +344,7 @@ func (p *Persistent) Patch(delta *PatchDelta) (*PatchStats, error) {
 	}
 	sort.Ints(p.destList)
 	p.sched = nil
+	p.traffic = nil // learned byte sizes changed; Traffic rebuilds on demand
 	if err := validateSchedule(p.Schedule(), me, K); err != nil {
 		return nil, fmt.Errorf("core: patch: patched schedule invalid: %w", err)
 	}
@@ -408,7 +409,11 @@ func (p *Persistent) PatchCompiled(r *Replay, xlen int, gather map[int][]int32, 
 		return fmt.Errorf("core: patch: replay has %d stages, schedule has %d", len(r.stages), len(sched.Stages))
 	}
 	if !stats.haloDirty && xlen == r.xlen && r.inLoc != nil {
-		return p.patchCompiledFast(r, sched, gather, stats)
+		if err := p.patchCompiledFast(r, sched, gather, stats); err != nil {
+			return err
+		}
+		r.traffic = r.computeTraffic()
+		return nil
 	}
 
 	// Halo layout and self ops: delivery offsets shift whenever any
@@ -479,6 +484,7 @@ func (p *Persistent) PatchCompiled(r *Replay, xlen int, gather map[int][]int32, 
 		}
 	}
 	r.inLoc = inLoc
+	r.traffic = r.computeTraffic()
 	return nil
 }
 

@@ -70,6 +70,10 @@ type Persistent struct {
 	// sched is the learned StageSchedule, built lazily from the recorded
 	// pattern and executed by every Run.
 	sched *StageSchedule
+	// traffic caches the learned transport hint (Traffic): the schedule
+	// skeleton's frame counts with exact learned wire bytes. Patch resets
+	// it, since slot surgery changes the byte sizes.
+	traffic []runtime.StageTraffic
 	// tele, when set, records one stage-scoped span per Run stage.
 	tele *telemetry.Rank
 }
@@ -132,9 +136,11 @@ func NewPersistent(c runtime.Comm, t *vpt.Topology, payloads map[int][]byte) (*P
 		fb.Put(d, t.Digit(dst, d), msg.Submessage{Src: me, Dst: dst, Data: data})
 	}
 
+	learnSched := buildTopologySchedule(t, me)
 	sm := &stageMachine{
-		sched:   buildTopologySchedule(t, me),
+		sched:   learnSched,
 		ordered: true,
+		traffic: learnSched.Traffic(),
 		outSubs: func(d, _ int, slot SendSlot) ([]msg.Submessage, error) {
 			subs := fb.Take(d, t.Digit(slot.To, d))
 			if len(subs) > 0 {
@@ -301,6 +307,7 @@ func (p *Persistent) Run(c runtime.Comm, payloads map[int][]byte, opts ...Exchan
 		// inline and keep the pipelining on the receive side.
 		inlineSend: true,
 		tele:       tele,
+		traffic:    p.Traffic(),
 		// Fill the learned frame's slot list from the store; slots are
 		// consumed (deleted) so a payload forwarded in a later stage cannot
 		// be sent twice.

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sync"
 
+	"stfw/internal/runtime"
 	"stfw/internal/vpt"
 )
 
@@ -58,6 +59,12 @@ type ScheduleStage struct {
 // StageSchedule is the per-rank IR the stage machine executes.
 type StageSchedule struct {
 	Stages []ScheduleStage
+
+	// traffic caches the transport hint built by Traffic. Safe to cache
+	// even under dynamic patching: Patch changes slot occupancies, never
+	// the stage/frame skeleton the summary describes.
+	trafficOnce sync.Once
+	traffic     []runtime.StageTraffic
 }
 
 // buildTopologySchedule is the dynamic front-end: stage d talks to every

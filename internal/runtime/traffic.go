@@ -1,0 +1,65 @@
+package runtime
+
+// Traffic hints: an optional, advisory channel from a schedule-aware engine
+// down to the transport. The store-and-forward executor knows, before a
+// single byte moves, exactly which frames every stage will carry — the
+// StageSchedule IR lists each stage's outbound slots and expected inbound
+// senders. A transport that learns this ahead of time never has to
+// speculate about flow-control state: it knows when a peer's per-stage
+// inbound set is complete (acknowledge immediately, release the sender's
+// credits at the stage boundary) and how much traffic a window must cover.
+//
+// Hints are strictly optional and advisory: a transport must stay correct
+// (and live) without them, and must stay correct when the actual traffic
+// deviates from a stale hint — the engine may patch a schedule between
+// iterations (frame counts are invariant under core.Persistent.Patch, byte
+// sizes are not), and wrappers may drop the hint entirely.
+
+// PeerTraffic is the expected traffic between this rank and one peer within
+// one stage, in one direction.
+type PeerTraffic struct {
+	// Peer is the remote rank.
+	Peer int
+	// Frames is the exact number of transport frames expected (empty
+	// frames included — their arrival is part of the schedule).
+	Frames int
+	// Bytes is the expected total wire bytes of those frames (the payload
+	// lengths passed to Send), 0 when the front-end does not know sizes
+	// (only the learned and compiled front-ends do). Advisory only.
+	Bytes int
+}
+
+// StageTraffic summarizes one schedule stage for the transport: the tag its
+// frames travel under and the per-peer outbound/inbound frame counts.
+type StageTraffic struct {
+	// Tag is the transport tag all of the stage's frames carry.
+	Tag int
+	// Sends lists expected outbound traffic per destination peer.
+	Sends []PeerTraffic
+	// Recvs lists expected inbound traffic per source peer.
+	Recvs []PeerTraffic
+}
+
+// TrafficHinter is an optional Comm extension: a transport that implements
+// it is told the full per-stage traffic summary of the schedule about to
+// execute. Engines call it (through HintTraffic) once per run, before the
+// first stage's sends; transports should treat a repeated hint with the
+// same backing slice as a no-op so steady-state replays stay allocation
+// free. Implementations must tolerate hints that do not match the traffic
+// actually observed — hints may be stale or absent, never load-bearing for
+// correctness.
+type TrafficHinter interface {
+	HintTraffic(stages []StageTraffic)
+}
+
+// HintTraffic forwards a schedule's traffic summary to the transport when
+// it accepts hints, and is a no-op otherwise. A nil or empty summary is
+// ignored.
+func HintTraffic(c Comm, stages []StageTraffic) {
+	if len(stages) == 0 {
+		return
+	}
+	if h, ok := c.(TrafficHinter); ok {
+		h.HintTraffic(stages)
+	}
+}

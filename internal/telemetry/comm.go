@@ -82,6 +82,12 @@ func (c *countedComm) RecvAnyOf(tag int, from []int) (int, []byte, error) {
 // pooled send buffers keep their recycling discipline through the wrapper.
 func (c *countedComm) SendRetains() bool { return runtime.SendRetains(c.Comm) }
 
+// HintTraffic forwards schedule traffic hints so a schedule-aware
+// transport keeps its zero-speculation flow control under instrumentation.
+func (c *countedComm) HintTraffic(stages []runtime.StageTraffic) {
+	runtime.HintTraffic(c.Comm, stages)
+}
+
 func (c *countedComm) Barrier() error {
 	start := time.Now()
 	err := c.Comm.Barrier()

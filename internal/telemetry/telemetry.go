@@ -230,6 +230,17 @@ type Rank struct {
 	PatchNs          atomic.Int64
 	PatchDirtyStages atomic.Int64
 
+	// Batched-transport counters (internal/transport/udpnet): Batches is
+	// the number of batched socket submissions (one sendmmsg/recvmmsg-style
+	// call each) and BatchDgrams the datagrams they carried, so
+	// BatchDgrams/Batches is the realized coalescing factor. Resends counts
+	// retransmitted packets (loss recovery), CreditStalls the sends that
+	// had to wait on a full in-flight window before claiming a packet slot.
+	Batches      atomic.Int64
+	BatchDgrams  atomic.Int64
+	Resends      atomic.Int64
+	CreditStalls atomic.Int64
+
 	// FrameSizes observes the byte length of every frame this rank sends
 	// through a wrapped communicator; StageNs observes the duration of its
 	// stage-scoped spans (KStage, KForward, KDeliver). The histograms are
@@ -312,6 +323,33 @@ func (t *Rank) CountPatch(dirtyStages int, d time.Duration) {
 	t.PatchDirtyStages.Add(int64(dirtyStages))
 	now := time.Now()
 	t.SpanBetween(KPatch, -1, now.Add(-d), now)
+}
+
+// CountBatch records one batched socket submission carrying dgrams
+// datagrams (send or receive side alike).
+func (t *Rank) CountBatch(dgrams int) {
+	if t == nil {
+		return
+	}
+	t.Batches.Add(1)
+	t.BatchDgrams.Add(int64(dgrams))
+}
+
+// CountResend records one retransmitted packet.
+func (t *Rank) CountResend() {
+	if t == nil {
+		return
+	}
+	t.Resends.Add(1)
+}
+
+// CountCreditStall records one send that blocked waiting for in-flight
+// window credits.
+func (t *Rank) CountCreditStall() {
+	if t == nil {
+		return
+	}
+	t.CreditStalls.Add(1)
 }
 
 // SpanSince records a span of the given kind that started at start and
@@ -408,6 +446,10 @@ type RankSnapshot struct {
 	Patches          int64             `json:"patches,omitempty"`
 	PatchNs          int64             `json:"patch_ns,omitempty"`
 	PatchDirtyStages int64             `json:"patch_dirty_stages,omitempty"`
+	Batches          int64             `json:"batches,omitempty"`
+	BatchDgrams      int64             `json:"batch_dgrams,omitempty"`
+	Resends          int64             `json:"resends,omitempty"`
+	CreditStalls     int64             `json:"credit_stalls,omitempty"`
 	Spans            []Span            `json:"-"`
 	SpanCount        int64             `json:"span_count"`
 }
@@ -442,6 +484,10 @@ func (g *Registry) Snapshot() Snapshot {
 			Patches:          t.Patches.Load(),
 			PatchNs:          t.PatchNs.Load(),
 			PatchDirtyStages: t.PatchDirtyStages.Load(),
+			Batches:          t.Batches.Load(),
+			BatchDgrams:      t.BatchDgrams.Load(),
+			Resends:          t.Resends.Load(),
+			CreditStalls:     t.CreditStalls.Load(),
 			Spans:            t.Spans(),
 			SpanCount:        t.SpanCount(),
 		}

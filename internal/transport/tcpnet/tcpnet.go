@@ -9,16 +9,22 @@
 // arrival order, so the transport supports arrival-order receives
 // (runtime.AnyReceiver) for the pipelined exchange engine. Receive buffers
 // are drawn from the msg frame arena; the receiving exchange recycles them.
-// Send serializes the payload onto the socket before returning, so
-// SendRetains reports false and senders may recycle their buffers.
+// Send serializes the payload out of the caller's buffer before returning
+// (into the connection's buffered writer or straight onto the socket), so
+// SendRetains reports false and senders may recycle their buffers. Writes
+// coalesce: bursts of sends to one peer group-commit through a per-conn
+// bufio.Writer, and the last sender of a burst flushes, so the stream
+// never idles with bytes parked in user space.
 package tcpnet
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"stfw/internal/msg"
 	"stfw/internal/runtime"
@@ -92,9 +98,18 @@ type World struct {
 
 type connKey struct{ from, to int }
 
+// conn is one outbound connection. Writes go through a buffered writer
+// with group commit: each Send announces itself in pending before taking
+// the lock, and only the sender that decrements pending to zero flushes.
+// A burst of stage sends to one peer thus crosses the kernel boundary in
+// one write instead of two per frame, while the last sender of any burst
+// always drains the buffer before returning — the stream is never left
+// parked in user space once all Send calls have returned.
 type conn struct {
-	mu sync.Mutex
-	c  net.Conn
+	mu      sync.Mutex
+	c       net.Conn
+	bw      *bufio.Writer
+	pending atomic.Int32
 }
 
 // NewWorld starts listeners for size ranks on loopback.
@@ -227,7 +242,7 @@ func (w *World) dial(from, to int) (*conn, error) {
 		nc.Close()
 		return nil, err
 	}
-	c := &conn{c: nc}
+	c := &conn{c: nc, bw: bufio.NewWriterSize(nc, 64<<10)}
 	w.conns[k] = c
 	return c, nil
 }
@@ -255,17 +270,24 @@ func (c *comm) Send(to, tag int, payload []byte) error {
 	var hdr [headerLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(tag))
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	cn.pending.Add(1)
 	cn.mu.Lock()
 	defer cn.mu.Unlock()
-	if _, err := cn.c.Write(hdr[:]); err != nil {
-		return err
+	_, werr := cn.bw.Write(hdr[:])
+	if werr == nil && len(payload) > 0 {
+		// bufio copies the payload (or writes it through when it exceeds
+		// the buffer), so SendRetains stays false either way.
+		_, werr = cn.bw.Write(payload)
 	}
-	if len(payload) > 0 {
-		if _, err := cn.c.Write(payload); err != nil {
-			return err
+	// Group commit: if another Send has already announced itself it will
+	// write behind us under this lock and inherit the flush obligation;
+	// otherwise we are the last of the burst and must drain.
+	if cn.pending.Add(-1) == 0 {
+		if ferr := cn.bw.Flush(); werr == nil {
+			werr = ferr
 		}
 	}
-	return nil
+	return werr
 }
 
 func (c *comm) Recv(from, tag int) ([]byte, error) {

@@ -184,6 +184,14 @@ func (f *faultComm) Recv(from, tag int) ([]byte, error) { return f.inner.Recv(fr
 func (f *faultComm) Barrier() error                     { return f.inner.Barrier() }
 func (f *faultComm) SendRetains() bool                  { return runtime.SendRetains(f.inner) }
 
+// HintTraffic forwards schedule traffic hints: the injector perturbs frame
+// timing, not the schedule, so the inner transport's zero-speculation flow
+// control stays sound under every semantics-preserving fault class. (Drop
+// violates the schedule contract with or without hints.)
+func (f *faultComm) HintTraffic(stages []runtime.StageTraffic) {
+	runtime.HintTraffic(f.inner, stages)
+}
+
 // RecvAnyOf serves the receive in arrival order through the inner
 // transport — unless the reorder fault fires, in which case it blocks on a
 // uniformly random candidate. Either way exactly one listed candidate's

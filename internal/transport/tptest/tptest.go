@@ -12,8 +12,11 @@ package tptest
 
 import (
 	"fmt"
+	"net"
+	"os"
 	goruntime "runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -78,11 +81,57 @@ func checkNoLeakedGoroutines(t *testing.T, baseline int) {
 	}
 }
 
+// primeNetpoller forces the Go runtime's network poller (and its
+// process-lifetime descriptors: epoll instance, wakeup eventfd) into
+// existence before an fd baseline is taken, so the first socket-creating
+// subtest is not blamed for them.
+var primeNetpoller = sync.OnceFunc(func() {
+	if c, err := net.ListenPacket("udp", "127.0.0.1:0"); err == nil {
+		c.Close()
+	}
+})
+
+// OpenFDs counts this process's open file descriptors (via /proc/self/fd;
+// -1 where that is unavailable). Socket-backed transports use it to prove
+// world teardown releases every descriptor.
+func OpenFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// CheckNoLeakedFDs fails the test if the process holds more file
+// descriptors than the baseline after a world's teardown. Like the
+// goroutine check it polls with a grace window, since descriptor release
+// can trail the close call on wire transports.
+func CheckNoLeakedFDs(t *testing.T, baseline int) {
+	t.Helper()
+	if baseline < 0 {
+		return // no /proc on this platform
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := OpenFDs()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("transport leaked %d file descriptors after world close (baseline %d)", n-baseline, baseline)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // Run executes the conformance suite against the transport.
 func Run(t *testing.T, newWorld Factory, o Options) {
 	world := func(t *testing.T, size int) ([]runtime.Comm, func()) {
 		t.Helper()
+		primeNetpoller()
 		baseline := len(transportGoroutines())
+		fdBaseline := OpenFDs()
 		comms, closeWorld, err := newWorld(size)
 		if err != nil {
 			t.Fatal(err)
@@ -93,6 +142,7 @@ func Run(t *testing.T, newWorld Factory, o Options) {
 		done := func() {
 			closeWorld()
 			checkNoLeakedGoroutines(t, baseline)
+			CheckNoLeakedFDs(t, fdBaseline)
 		}
 		return comms, done
 	}

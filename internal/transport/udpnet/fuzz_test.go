@@ -1,0 +1,124 @@
+package udpnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// buildDataPacket assembles a well-formed data datagram for seeding.
+func buildDataPacket(from int, seq uint32, chunks []chunk) []byte {
+	b := make([]byte, dgramHdrLen, maxDatagram)
+	putDgramHeader(b, dgramHeader{kind: kindData, count: len(chunks), from: from, seq: seq})
+	for _, c := range chunks {
+		b = appendChunk(b, c.tag, c.frameID, c.frameLen, c.off, c.frag)
+	}
+	return b
+}
+
+// FuzzParseDgram drives the datagram parsers with arbitrary bytes: they
+// must never panic or over-read, truncated/corrupt-length inputs must
+// error, and every accepted chunk's fragment must lie inside both the
+// datagram and its declared frame — the exact properties the receive path
+// relies on to drop garbage safely.
+func FuzzParseDgram(f *testing.F) {
+	f.Add([]byte{}, uint16(4))
+	f.Add(buildDataPacket(1, 7, []chunk{{tag: 3, frameID: 0, frameLen: 5, off: 0, frag: []byte("hello")}}), uint16(4))
+	f.Add(buildDataPacket(0, 0, []chunk{
+		{tag: 1, frameID: 2, frameLen: 10, off: 0, frag: []byte("split")},
+		{tag: 1, frameID: 2, frameLen: 10, off: 5, frag: []byte("frame")},
+	}), uint16(8))
+	f.Add(buildAck(make([]byte, 0, maxDatagram), 2, 99, 0xdeadbeef), uint16(4))
+	trunc := buildDataPacket(1, 1, []chunk{{tag: 2, frameLen: 100, frag: make([]byte, 50)}})
+	f.Add(trunc[:len(trunc)-10], uint16(4))
+	lied := buildDataPacket(1, 1, []chunk{{tag: 2, frameLen: 8, frag: make([]byte, 8)}})
+	lied[dgramHdrLen+16] = 0xff // fragLen claims more bytes than present
+	f.Add(lied, uint16(4))
+
+	f.Fuzz(func(t *testing.T, data []byte, size16 uint16) {
+		size := int(size16%64) + 1
+		h, body, err := parseDgram(data, size)
+		if err != nil {
+			return
+		}
+		if h.from < 0 || h.from >= size {
+			t.Fatalf("accepted out-of-range rank %d (size %d)", h.from, size)
+		}
+		switch h.kind {
+		case kindAck:
+			if _, err := parseAck(body); err != nil {
+				return
+			}
+			if len(body) != ackBodyLen {
+				t.Fatalf("ack accepted with %d body bytes", len(body))
+			}
+		case kindData:
+			for k := 0; k < h.count; k++ {
+				c, rest, err := nextChunk(body)
+				if err != nil {
+					return
+				}
+				if c.frameLen > maxFrameLen {
+					t.Fatalf("chunk accepted with frame length %d", c.frameLen)
+				}
+				if uint64(c.off)+uint64(len(c.frag)) > uint64(c.frameLen) {
+					t.Fatalf("fragment [%d,%d) outside frame of %d bytes", c.off, int(c.off)+len(c.frag), c.frameLen)
+				}
+				// The fragment must alias the input, not memory beyond it.
+				if len(c.frag) > len(body)-chunkHdrLen {
+					t.Fatalf("fragment of %d bytes from %d available", len(c.frag), len(body)-chunkHdrLen)
+				}
+				body = rest
+			}
+		default:
+			t.Fatalf("parseDgram accepted kind %d", h.kind)
+		}
+	})
+}
+
+// FuzzPacketRoundTrip checks encode→decode is the identity on structured
+// inputs within wire-format bounds.
+func FuzzPacketRoundTrip(f *testing.F) {
+	f.Add(uint32(1), uint32(2), []byte("payload"), uint32(0), uint32(7))
+	f.Add(uint32(0), uint32(0), []byte{}, uint32(0), uint32(0))
+	f.Add(uint32(99), uint32(1<<20), bytes.Repeat([]byte{0xAA}, 4000), uint32(500), uint32(5000))
+	f.Fuzz(func(t *testing.T, seq, tag32 uint32, frag []byte, off, frameLen uint32) {
+		if len(frag) > maxDatagram-dgramHdrLen-chunkHdrLen {
+			frag = frag[:maxDatagram-dgramHdrLen-chunkHdrLen]
+		}
+		if frameLen > maxFrameLen {
+			frameLen = maxFrameLen
+		}
+		if uint64(off)+uint64(len(frag)) > uint64(frameLen) {
+			if uint64(len(frag)) > uint64(frameLen) {
+				frag = frag[:frameLen]
+			}
+			off = frameLen - uint32(len(frag))
+		}
+		tag := int(tag32 & 0x7fffffff)
+		pkt := buildDataPacket(2, seq, []chunk{{tag: tag, frameID: 11, frameLen: frameLen, off: off, frag: frag}})
+		h, body, err := parseDgram(pkt, 4)
+		if err != nil {
+			t.Fatalf("well-formed packet rejected: %v", err)
+		}
+		if h.kind != kindData || h.from != 2 || h.seq != seq || h.count != 1 {
+			t.Fatalf("header round trip: %+v", h)
+		}
+		c, rest, err := nextChunk(body)
+		if err != nil {
+			t.Fatalf("well-formed chunk rejected: %v", err)
+		}
+		if len(rest) != 0 || c.tag != tag || c.frameID != 11 || c.frameLen != frameLen || c.off != off || !bytes.Equal(c.frag, frag) {
+			t.Fatalf("chunk round trip: %+v", c)
+		}
+
+		ack := buildAck(make([]byte, 0, maxDatagram), 3, seq, uint64(off)<<32|uint64(frameLen))
+		ah, abody, err := parseDgram(ack, 4)
+		if err != nil || ah.kind != kindAck || ah.seq != seq || ah.from != 3 {
+			t.Fatalf("ack round trip: %+v %v", ah, err)
+		}
+		bm, err := parseAck(abody)
+		if err != nil || bm != uint64(off)<<32|uint64(frameLen) {
+			t.Fatalf("ack bitmap round trip: %x %v", bm, err)
+		}
+	})
+}

@@ -1,0 +1,24 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package udpnet
+
+import (
+	"net"
+	"syscall"
+)
+
+// The portable build has no batched-syscall fast path: newBatchIO returns
+// nil and the transport uses the one-datagram-per-syscall loop
+// (WriteToUDP/ReadFromUDP). Coalescing and flow control are unaffected —
+// only the syscall amortization is lost.
+type batchIO struct{}
+
+func newBatchIO(addrs []*net.UDPAddr) *batchIO { return nil }
+
+func (b *batchIO) send(rc syscall.RawConn, batch []sendEntry) (errs int) {
+	panic("udpnet: batch I/O unavailable on this platform")
+}
+
+func (b *batchIO) recv(rc syscall.RawConn, bufs [][]byte, lens []int) (int, error) {
+	panic("udpnet: batch I/O unavailable on this platform")
+}

@@ -1,0 +1,170 @@
+package udpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Datagram wire format (little-endian). One datagram is either a data
+// packet — a batch of frame chunks coalesced onto one reliable per-link
+// sequence number — or an ack reporting the receiver's cumulative progress
+// plus a selective-ack bitmap:
+//
+//	datagram header (12 bytes):
+//	  uint8  kind     — kindData or kindAck
+//	  uint8  reserved — zero
+//	  uint16 count    — data: number of chunks; ack: zero
+//	  uint32 from     — sender rank
+//	  uint32 seq      — data: per-link packet sequence number
+//	                    ack:  cumulative ack (next expected seq; all
+//	                          lower sequence numbers were received)
+//
+//	data chunk (20-byte header + fragment bytes):
+//	  uint32 tag      — transport tag of the frame
+//	  uint32 frameID  — per-link frame counter, assigned in send order
+//	  uint32 frameLen — total frame byte length
+//	  uint32 off      — fragment offset within the frame
+//	  uint32 fragLen  — fragment byte length (0 only for empty frames)
+//
+//	ack payload (8 bytes):
+//	  uint64 bitmap   — bit i set means seq cumAck+1+i was received
+//	                    (selective acks beyond the cumulative prefix)
+//
+// Every parser below is total: arbitrary input bytes produce an error,
+// never a panic or an over-read. The receive path depends on that (a
+// corrupted or torn datagram must be droppable), and the fuzz target in
+// fuzz_test.go enforces it.
+const (
+	dgramHdrLen = 12
+	chunkHdrLen = 20
+	ackBodyLen  = 8
+
+	// maxDatagram is the packet buffer size: every datagram, headers
+	// included, fits in one buffer. Well under the 64 KiB UDP limit, large
+	// enough that header overhead on bulk frames stays below 1%.
+	maxDatagram = 8192
+
+	// maxFrameLen bounds a frame declared by a chunk header, mirroring
+	// tcpnet's length-prefix sanity bound.
+	maxFrameLen = 1 << 30
+)
+
+const (
+	kindData = 1
+	kindAck  = 2
+)
+
+// ErrMalformed reports a datagram that does not parse under the wire
+// format. Receivers drop such packets; the reliability layer recovers.
+var ErrMalformed = errors.New("udpnet: malformed datagram")
+
+// dgramHeader is the decoded fixed header of one datagram.
+type dgramHeader struct {
+	kind  byte
+	count int
+	from  int
+	seq   uint32
+}
+
+// putDgramHeader writes the header into b[0:dgramHdrLen].
+func putDgramHeader(b []byte, h dgramHeader) {
+	b[0] = h.kind
+	b[1] = 0
+	binary.LittleEndian.PutUint16(b[2:], uint16(h.count))
+	binary.LittleEndian.PutUint32(b[4:], uint32(h.from))
+	binary.LittleEndian.PutUint32(b[8:], h.seq)
+}
+
+// parseDgram decodes the datagram header and returns it with the body
+// bytes. size is the world size, bounding the from field.
+func parseDgram(b []byte, size int) (dgramHeader, []byte, error) {
+	if len(b) < dgramHdrLen {
+		return dgramHeader{}, nil, fmt.Errorf("%w: %d header bytes", ErrMalformed, len(b))
+	}
+	h := dgramHeader{
+		kind:  b[0],
+		count: int(binary.LittleEndian.Uint16(b[2:])),
+		from:  int(binary.LittleEndian.Uint32(b[4:])),
+		seq:   binary.LittleEndian.Uint32(b[8:]),
+	}
+	if h.kind != kindData && h.kind != kindAck {
+		return dgramHeader{}, nil, fmt.Errorf("%w: kind %d", ErrMalformed, h.kind)
+	}
+	if b[1] != 0 {
+		return dgramHeader{}, nil, fmt.Errorf("%w: nonzero reserved byte", ErrMalformed)
+	}
+	if h.from < 0 || h.from >= size {
+		return dgramHeader{}, nil, fmt.Errorf("%w: rank %d out of [0,%d)", ErrMalformed, h.from, size)
+	}
+	return h, b[dgramHdrLen:], nil
+}
+
+// chunk is one decoded frame fragment. frag aliases the datagram buffer.
+type chunk struct {
+	tag      int
+	frameID  uint32
+	frameLen uint32
+	off      uint32
+	frag     []byte
+}
+
+// appendChunk appends one encoded chunk to the packet under construction
+// and returns the extended slice. The caller guarantees capacity
+// (chunkSpace) — packets are built inside fixed-size ring buffers.
+func appendChunk(b []byte, tag int, frameID, frameLen, off uint32, frag []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(tag))
+	b = binary.LittleEndian.AppendUint32(b, frameID)
+	b = binary.LittleEndian.AppendUint32(b, frameLen)
+	b = binary.LittleEndian.AppendUint32(b, off)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(frag)))
+	return append(b, frag...)
+}
+
+// nextChunk decodes the chunk at the front of body, returning it and the
+// remaining bytes. The fragment is validated against its frame geometry:
+// declared lengths must be in range and the fragment must lie inside the
+// frame, so a consumer can copy frag at off without further checks.
+func nextChunk(body []byte) (chunk, []byte, error) {
+	if len(body) < chunkHdrLen {
+		return chunk{}, nil, fmt.Errorf("%w: %d chunk header bytes", ErrMalformed, len(body))
+	}
+	c := chunk{
+		tag:      int(binary.LittleEndian.Uint32(body[0:])),
+		frameID:  binary.LittleEndian.Uint32(body[4:]),
+		frameLen: binary.LittleEndian.Uint32(body[8:]),
+		off:      binary.LittleEndian.Uint32(body[12:]),
+	}
+	fragLen := binary.LittleEndian.Uint32(body[16:])
+	body = body[chunkHdrLen:]
+	if c.frameLen > maxFrameLen {
+		return chunk{}, nil, fmt.Errorf("%w: frame length %d", ErrMalformed, c.frameLen)
+	}
+	if uint64(c.off)+uint64(fragLen) > uint64(c.frameLen) {
+		return chunk{}, nil, fmt.Errorf("%w: fragment [%d,%d) outside frame of %d bytes",
+			ErrMalformed, c.off, uint64(c.off)+uint64(fragLen), c.frameLen)
+	}
+	if uint64(fragLen) > uint64(len(body)) {
+		return chunk{}, nil, fmt.Errorf("%w: fragment of %d bytes, %d remain", ErrMalformed, fragLen, len(body))
+	}
+	c.frag = body[:fragLen:fragLen]
+	return c, body[fragLen:], nil
+}
+
+// buildAck encodes a complete ack datagram into b (which must have
+// capacity dgramHdrLen+ackBodyLen) and returns the filled slice.
+func buildAck(b []byte, from int, cumAck uint32, bitmap uint64) []byte {
+	b = b[:dgramHdrLen+ackBodyLen]
+	putDgramHeader(b, dgramHeader{kind: kindAck, from: from, seq: cumAck})
+	binary.LittleEndian.PutUint64(b[dgramHdrLen:], bitmap)
+	return b
+}
+
+// parseAck decodes an ack body. The cumulative ack itself travels in the
+// datagram header's seq field.
+func parseAck(body []byte) (bitmap uint64, err error) {
+	if len(body) != ackBodyLen {
+		return 0, fmt.Errorf("%w: ack body of %d bytes", ErrMalformed, len(body))
+	}
+	return binary.LittleEndian.Uint64(body), nil
+}

@@ -1,0 +1,10 @@
+//go:build linux
+
+package udpnet
+
+// The stdlib syscall number table predates sendmmsg on amd64, so the
+// batched-I/O syscall numbers are pinned here per architecture.
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

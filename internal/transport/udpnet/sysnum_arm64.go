@@ -1,0 +1,9 @@
+//go:build linux
+
+package udpnet
+
+// Batched-I/O syscall numbers for linux/arm64.
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

@@ -1,0 +1,192 @@
+package stfw
+
+// BenchmarkTransportThroughput compares the wire transports under the
+// workload udpnet was built for: a K=64 wide-radix learned exchange
+// replayed in steady state, small frames, every rank talking to several
+// neighbors per stage. One op is the whole world completing one replay;
+// the headline metric is frames/sec across the world (total transport
+// sends per replay times replays per second).
+//
+// TestWriteUDPBenchJSON renders the measurement into BENCH_udp.json when
+// BENCH_UDP_JSON names an output path, and gates the acceptance bar:
+// udpnet's batched datagrams must beat tcpnet's per-frame stream writes by
+// >=1.5x frames/sec on this shape.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"stfw/internal/core"
+	"stfw/internal/runtime"
+	"stfw/internal/transport/chanpt"
+	"stfw/internal/transport/tcpnet"
+	"stfw/internal/transport/udpnet"
+	"stfw/internal/vpt"
+)
+
+const (
+	tptBenchK       = 64
+	tptBenchDim     = 2 // dims [8,8]: 7 neighbors per stage, the wide-radix shape
+	tptBenchDests   = 8
+	tptBenchPayload = 256
+)
+
+// tptBenchPayloads builds the per-rank payload maps: each rank ships
+// 256-byte frames to 8 pseudo-random destinations, the irregular small-
+// message shape the paper regularizes.
+func tptBenchPayloads(K int) []map[int][]byte {
+	rng := rand.New(rand.NewSource(int64(K) * 11))
+	out := make([]map[int][]byte, K)
+	for src := 0; src < K; src++ {
+		m := map[int][]byte{}
+		for len(m) < tptBenchDests {
+			dst := rng.Intn(K)
+			if dst == src {
+				continue
+			}
+			p := make([]byte, tptBenchPayload)
+			for i := range p {
+				p[i] = byte(src + i)
+			}
+			m[dst] = p
+		}
+		out[src] = m
+	}
+	return out
+}
+
+func tptBenchWorld(tb testing.TB, transport string, K int) ([]runtime.Comm, func()) {
+	tb.Helper()
+	switch transport {
+	case "chanpt":
+		w, err := chanpt.NewWorld(K, 4)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return w.Comms(), func() {}
+	case "tcpnet":
+		w, err := tcpnet.NewWorld(K)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return w.Comms(), w.Close
+	case "udpnet":
+		w, err := udpnet.NewWorld(K)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return w.Comms(), w.Close
+	default:
+		tb.Fatalf("unknown transport %q", transport)
+		return nil, nil
+	}
+}
+
+// runTransportThroughput learns the schedule once per rank, replays it b.N
+// times in lockstep, and reports world frames/sec. The learning exchange
+// rides inside the timed region but amortizes to nothing as b.N grows.
+func runTransportThroughput(b *testing.B, comms []runtime.Comm) float64 {
+	b.Helper()
+	tp, err := vpt.NewBalanced(tptBenchK, tptBenchDim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payloads := tptBenchPayloads(tptBenchK)
+	var framesPerOp atomic.Int64
+	b.ResetTimer()
+	err = runtime.Run(comms, func(c runtime.Comm) error {
+		p, _, err := core.NewPersistent(c, tp, payloads[c.Rank()])
+		if err != nil {
+			return err
+		}
+		for _, st := range p.Traffic() {
+			for _, pt := range st.Sends {
+				framesPerOp.Add(int64(pt.Frames))
+			}
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Run(c, payloads[c.Rank()]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fps := float64(framesPerOp.Load()) * float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(fps, "frames/sec")
+	return fps
+}
+
+func BenchmarkTransportThroughput(b *testing.B) {
+	for _, transport := range []string{"chanpt", "tcpnet", "udpnet"} {
+		transport := transport
+		b.Run(transport, func(b *testing.B) {
+			comms, stop := tptBenchWorld(b, transport, tptBenchK)
+			defer stop()
+			runTransportThroughput(b, comms)
+		})
+	}
+}
+
+// udpBenchReport is the BENCH_udp.json schema.
+type udpBenchReport struct {
+	Note          string  `json:"note"`
+	K             int     `json:"k"`
+	Dims          []int   `json:"dims"`
+	PayloadBytes  int     `json:"payload_bytes"`
+	ChanFramesSec float64 `json:"chanpt_frames_per_sec"`
+	TCPFramesSec  float64 `json:"tcpnet_frames_per_sec"`
+	UDPFramesSec  float64 `json:"udpnet_frames_per_sec"`
+	UDPOverTCP    float64 `json:"udp_over_tcp"`
+}
+
+// TestWriteUDPBenchJSON measures the three transports via
+// testing.Benchmark, gates the >=1.5x udpnet-over-tcpnet acceptance bar,
+// and writes the report to the path named by BENCH_UDP_JSON.
+func TestWriteUDPBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_UDP_JSON")
+	if path == "" {
+		t.Skip("BENCH_UDP_JSON not set")
+	}
+	measure := func(transport string) float64 {
+		var fps float64
+		res := testing.Benchmark(func(b *testing.B) {
+			comms, stop := tptBenchWorld(b, transport, tptBenchK)
+			defer stop()
+			fps = runTransportThroughput(b, comms)
+		})
+		t.Logf("%s: %v, %.0f frames/sec", transport, res, fps)
+		return fps
+	}
+	report := udpBenchReport{
+		Note: fmt.Sprintf("K=%d dims=[8 8] learned-replay throughput, %d dests x %dB per rank: "+
+			"world frames/sec over chanpt (in-process reference), tcpnet (stream), udpnet (batched datagrams)",
+			tptBenchK, tptBenchDests, tptBenchPayload),
+		K:            tptBenchK,
+		Dims:         []int{8, 8},
+		PayloadBytes: tptBenchPayload,
+	}
+	report.ChanFramesSec = measure("chanpt")
+	report.TCPFramesSec = measure("tcpnet")
+	report.UDPFramesSec = measure("udpnet")
+	report.UDPOverTCP = report.UDPFramesSec / report.TCPFramesSec
+	if report.UDPOverTCP < 1.5 {
+		t.Errorf("udpnet %.0f frames/sec is only %.2fx tcpnet's %.0f, want >=1.5x",
+			report.UDPFramesSec, report.UDPOverTCP, report.TCPFramesSec)
+	}
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}
