@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	stfwbench -exp table1|fig1|table2|fig6|fig7|fig8|fig9|table3|fig10|partitioners|skew|mapping|stencil|dynamic|live|all [-scale N]
+//	stfwbench -exp table1|fig1|table2|fig6|fig7|fig8|fig9|table3|fig10|partitioners|skew|mapping|stencil|dynamic|live|netstat|all [-scale N]
 //
 // -scale shrinks the catalog matrices (sparse.ScaleParams semantics);
 // scale 1 is full size. The default of 8 preserves every regime the paper
@@ -20,6 +20,14 @@
 // experiment run; -debug-addr serves /debug (expvar, pprof, live trace)
 // while the sweep executes; -cpuprofile/-memprofile write runtime/pprof
 // profiles of the whole invocation.
+//
+// The "netstat" experiment goes one layer deeper: it runs the learned-
+// replay exchange over a wire transport, reports the per-link wire stats
+// (smoothed ack RTTs, resends, SACK repairs, ack suppression), the
+// per-stage straggler table, and a measured-vs-model divergence table
+// against the netsim cost model calibrated from the measured RTTs. With
+// -procs P the world spans P OS processes whose snapshots are merged into
+// one fleet report; -debug-addr then serves the merged /debug/fleet view.
 package main
 
 import (
@@ -58,7 +66,7 @@ func main() {
 	}
 
 	var cfg benchConfig
-	exp := flag.String("exp", "all", "experiment to run: table1, fig1, table2, fig6, fig7, fig8, fig9, table3, fig10, partitioners, skew, mapping, stencil, dynamic, live, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, fig1, table2, fig6, fig7, fig8, fig9, table3, fig10, partitioners, skew, mapping, stencil, dynamic, live, netstat, all")
 	verify := flag.Bool("verify", false, "run the whole-world schedule verifier over the conformance topologies and exit")
 	flag.IntVar(&cfg.Scale, "scale", 8, "matrix shrink factor (1 = full-size structures)")
 	flag.BoolVar(&cfg.telemetry, "telemetry", false, "collect live telemetry (implied by -exp live)")
@@ -121,11 +129,13 @@ func run(cfg benchConfig, exp string) error {
 		"stencil":      runStencil,
 		"dynamic":      runDynamic,
 		"live":         func(c experiments.Config) error { return runLive(c, cfg, reg) },
+		"netstat":      func(experiments.Config) error { return runNetstat(cfg) },
 	}
 	order := []string{"table1", "fig1", "table2", "fig6", "fig7", "fig8", "fig9", "table3", "fig10",
 		"partitioners", "skew", "mapping", "stencil", "dynamic"}
-	if cfg.debugAddr != "" {
+	if cfg.debugAddr != "" && exp != "netstat" {
 		// Without a registry the endpoint still serves pprof and expvar.
+		// netstat serves its own fleet-level endpoint after the merge.
 		ds, err := reg.ServeDebug(cfg.debugAddr)
 		if err != nil {
 			return err

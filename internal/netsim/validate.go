@@ -1,0 +1,199 @@
+package netsim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"stfw/internal/core"
+)
+
+// Measured-vs-model validation: confronting the alpha-beta cost model with
+// what the wire transports actually measured. The telemetry layer produces
+// per-stage wall-clock times (stage-scoped spans, straggler-maxed across
+// ranks) and per-link counters (smoothed ack RTTs, byte and message
+// volumes); this file turns those into a calibrated Machine and a per-stage
+// divergence table. The question the table answers is not "does the XC40
+// profile predict a loopback run" (it cannot) but "does a single (alpha,
+// beta) pair explain every stage of the measured schedule" — if the model's
+// shape is right, the calibrated prediction tracks the measurement across
+// stages and the ratio column hovers near 1; a stage the model cannot
+// explain shows up as a ratio far from its neighbors. That per-stage check
+// is exactly the calibration substrate an autotuner needs before it can
+// trust CommTime to rank candidate topologies.
+
+// Loopback is the physical topology of a single-host multi-process run:
+// every rank shares one node, so hop counts vanish and the cost model
+// degenerates to pure alpha-beta.
+type Loopback struct{}
+
+// Nodes returns 1: the whole world lives on one host.
+func (Loopback) Nodes() int { return 1 }
+
+// Hops returns 0 for every pair: loopback traffic never leaves the host.
+func (Loopback) Hops(a, b int) int { return 0 }
+
+// Name identifies the topology for reports.
+func (Loopback) Name() string { return "loopback (single host)" }
+
+// stageLoad is the busiest-process load of one stage under the
+// stage-synchronous model: the message and word bill of the rank that
+// dominates the stage (send and receive sides both serialize at the NIC,
+// mirroring CommTime's busy accounting).
+type stageLoad struct {
+	msgs  int64
+	words int64
+}
+
+// stageLoads extracts each stage's busiest-rank (msgs, words) pair from a
+// plan. The busiest rank is chosen by word volume (ties by message count):
+// under any fixed (alpha, beta) the true argmax can differ, so the result
+// is an estimate — good enough to seed calibration, and CompareStageTimes
+// always prices the final machine with the exact max-of-sums.
+func stageLoads(p *core.Plan) []stageLoad {
+	K := len(p.SentMsgs)
+	out := make([]stageLoad, len(p.Stages))
+	msgs := make([]int64, K)
+	words := make([]int64, K)
+	for d, stage := range p.Stages {
+		for i := 0; i < K; i++ {
+			msgs[i], words[i] = 0, 0
+		}
+		for _, f := range stage {
+			msgs[f.From]++
+			msgs[f.To]++
+			words[f.From] += f.Words
+			words[f.To] += f.Words
+		}
+		best := 0
+		for i := 1; i < K; i++ {
+			if words[i] > words[best] || (words[i] == words[best] && msgs[i] > msgs[best]) {
+				best = i
+			}
+		}
+		out[d] = stageLoad{msgs: msgs[best], words: words[best]}
+	}
+	return out
+}
+
+// CalibrateMachine fits a loopback Machine to a measured run. Alpha comes
+// straight from the wire — alphaSec should be half the mean smoothed ack
+// round-trip the transport observed (one-way startup latency). BetaWord is
+// estimated from the residual: for each stage with a nonzero busiest-rank
+// word load, (measured - alpha*msgs) / words is one per-word cost estimate,
+// and the median across stages is kept (robust against a straggler-skewed
+// stage poisoning the fit). Negative residuals clamp to zero; a schedule
+// with no word-carrying stage calibrates to BetaWord 0.
+//
+// SubCost and GammaHop stay zero: on loopback there are no hops, and the
+// per-submessage scatter cost is folded into the effective BetaWord, which
+// is what the measurement actually observes.
+func CalibrateMachine(name string, K int, alphaSec float64, p *core.Plan, measuredSec []float64) (*Machine, error) {
+	if len(measuredSec) != len(p.Stages) {
+		return nil, fmt.Errorf("netsim: calibrate: %d measured stages for a %d-stage plan",
+			len(measuredSec), len(p.Stages))
+	}
+	if alphaSec < 0 {
+		return nil, fmt.Errorf("netsim: calibrate: negative alpha %g", alphaSec)
+	}
+	loads := stageLoads(p)
+	var betas []float64
+	for d, ld := range loads {
+		if ld.words <= 0 {
+			continue
+		}
+		beta := (measuredSec[d] - alphaSec*float64(ld.msgs)) / float64(ld.words)
+		if beta < 0 {
+			beta = 0
+		}
+		betas = append(betas, beta)
+	}
+	beta := 0.0
+	if len(betas) > 0 {
+		sort.Float64s(betas)
+		beta = betas[len(betas)/2]
+	}
+	m := &Machine{
+		Name:         name,
+		Topo:         Loopback{},
+		RanksPerNode: K,
+		Alpha:        alphaSec,
+		BetaWord:     beta,
+	}
+	return m, m.Validate(K)
+}
+
+// StageDivergence is one row of the measured-vs-model table: the calibrated
+// model's stage prediction next to the measured stage wall-clock. Ratio is
+// measured over predicted (1.0 = perfect agreement, 0 when the model
+// predicts a zero-cost stage).
+type StageDivergence struct {
+	Stage        int     `json:"stage"`
+	Frames       int     `json:"frames"`
+	Words        int64   `json:"words"`
+	PredictedSec float64 `json:"predicted_sec"`
+	MeasuredSec  float64 `json:"measured_sec"`
+	Ratio        float64 `json:"ratio"`
+}
+
+// CompareStageTimes prices the plan on m and lines each stage's prediction
+// up against the measured wall-clock (seconds, same length as p.Stages).
+func CompareStageTimes(m *Machine, p *core.Plan, measuredSec []float64) ([]StageDivergence, error) {
+	if len(measuredSec) != len(p.Stages) {
+		return nil, fmt.Errorf("netsim: compare: %d measured stages for a %d-stage plan",
+			len(measuredSec), len(p.Stages))
+	}
+	pred, err := StageTimes(m, p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StageDivergence, len(pred))
+	for d := range pred {
+		var words int64
+		for _, f := range p.Stages[d] {
+			words += f.Words
+		}
+		row := StageDivergence{
+			Stage:        d,
+			Frames:       len(p.Stages[d]),
+			Words:        words,
+			PredictedSec: pred[d],
+			MeasuredSec:  measuredSec[d],
+		}
+		if pred[d] > 0 {
+			row.Ratio = measuredSec[d] / pred[d]
+		}
+		out[d] = row
+	}
+	return out, nil
+}
+
+// TotalDivergence sums a divergence table into one (predicted, measured,
+// ratio) line — the whole-schedule agreement headline.
+func TotalDivergence(rows []StageDivergence) (predictedSec, measuredSec, ratio float64) {
+	for _, r := range rows {
+		predictedSec += r.PredictedSec
+		measuredSec += r.MeasuredSec
+	}
+	if predictedSec > 0 {
+		ratio = measuredSec / predictedSec
+	}
+	return predictedSec, measuredSec, ratio
+}
+
+// WriteDivergence renders the divergence table as aligned plain text, with
+// a totals line.
+func WriteDivergence(w io.Writer, m *Machine, rows []StageDivergence) {
+	fmt.Fprintf(w, "model: %s  alpha=%.2fus  beta=%.3fns/word\n",
+		m.Name, m.Alpha*1e6, m.BetaWord*1e9)
+	fmt.Fprintf(w, "%5s %7s %9s %12s %12s %7s\n",
+		"stage", "frames", "words", "pred_us", "meas_us", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%5d %7d %9d %12.1f %12.1f %7.2f\n",
+			r.Stage, r.Frames, r.Words,
+			Microseconds(r.PredictedSec), Microseconds(r.MeasuredSec), r.Ratio)
+	}
+	pred, meas, ratio := TotalDivergence(rows)
+	fmt.Fprintf(w, "%5s %7s %9s %12.1f %12.1f %7.2f\n",
+		"total", "", "", Microseconds(pred), Microseconds(meas), ratio)
+}

@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"stfw/internal/core"
+)
+
+// starPlan builds a single-stage direct plan in which rank 0 sends `words`
+// words to every other rank — rank 0 is unambiguously the busiest process
+// under any nonnegative (alpha, beta), which makes calibration exact.
+func starPlan(t *testing.T, K int, words int64) *core.Plan {
+	t.Helper()
+	sets := core.NewSendSets(K)
+	for dst := 1; dst < K; dst++ {
+		sets.Add(0, dst, words)
+	}
+	if err := sets.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.BuildDirectPlan(sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoopbackTopology(t *testing.T) {
+	var lb Loopback
+	if lb.Nodes() != 1 {
+		t.Fatalf("Nodes() = %d, want 1", lb.Nodes())
+	}
+	if h := lb.Hops(3, 9); h != 0 {
+		t.Fatalf("Hops = %d, want 0", h)
+	}
+	m := &Machine{Name: "lb", Topo: lb, RanksPerNode: 64, Alpha: 1e-6}
+	if err := m.Validate(64); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := m.Validate(65); err == nil {
+		t.Fatal("Validate(65) on a 64-rank node should fail")
+	}
+}
+
+// TestCalibrateRecoversBeta prices a plan with a known machine and checks
+// that calibration against those "measurements" recovers BetaWord exactly:
+// the busiest rank of the star plan is the true argmax, so the residual
+// estimate is not an approximation here.
+func TestCalibrateRecoversBeta(t *testing.T) {
+	const K = 8
+	const alpha, beta = 2e-6, 10e-9
+	p := starPlan(t, K, 100)
+	truth := &Machine{Name: "truth", Topo: Loopback{}, RanksPerNode: K, Alpha: alpha, BetaWord: beta}
+	measured, err := StageTimes(truth, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := CalibrateMachine("cal", K, alpha, p, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.BetaWord-beta)/beta > 1e-9 {
+		t.Fatalf("calibrated BetaWord = %g, want %g", m.BetaWord, beta)
+	}
+	rows, err := CompareStageTimes(m, p, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if math.Abs(r.Ratio-1) > 1e-9 {
+			t.Fatalf("stage %d ratio = %g, want 1 (pred %g meas %g)",
+				r.Stage, r.Ratio, r.PredictedSec, r.MeasuredSec)
+		}
+	}
+	pred, meas, ratio := TotalDivergence(rows)
+	if math.Abs(ratio-1) > 1e-9 || pred <= 0 || meas <= 0 {
+		t.Fatalf("TotalDivergence = (%g, %g, %g), want ratio 1", pred, meas, ratio)
+	}
+}
+
+// TestCalibrateClampsNegativeBeta: when alpha alone over-explains every
+// stage (the loopback delayed-ack regime), the residual slope clamps to
+// zero instead of going negative.
+func TestCalibrateClampsNegativeBeta(t *testing.T) {
+	const K = 8
+	p := starPlan(t, K, 100)
+	// Busiest rank pays 7 messages; measurements far below 7*alpha force
+	// negative residuals.
+	measured := []float64{1e-6}
+	m, err := CalibrateMachine("cal", K, 1e-3, p, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BetaWord != 0 {
+		t.Fatalf("BetaWord = %g, want 0", m.BetaWord)
+	}
+}
+
+func TestCalibrateRejectsBadInput(t *testing.T) {
+	p := starPlan(t, 4, 10)
+	if _, err := CalibrateMachine("cal", 4, 1e-6, p, nil); err == nil {
+		t.Fatal("stage-count mismatch should fail")
+	}
+	if _, err := CalibrateMachine("cal", 4, -1e-6, p, []float64{1e-3}); err == nil {
+		t.Fatal("negative alpha should fail")
+	}
+	m := &Machine{Name: "lb", Topo: Loopback{}, RanksPerNode: 4, Alpha: 1e-6}
+	if _, err := CompareStageTimes(m, p, nil); err == nil {
+		t.Fatal("CompareStageTimes stage-count mismatch should fail")
+	}
+}
+
+func TestDivergenceRatioAgainstMiscalibratedModel(t *testing.T) {
+	const K = 8
+	p := starPlan(t, K, 100)
+	truth := &Machine{Name: "truth", Topo: Loopback{}, RanksPerNode: K, Alpha: 2e-6, BetaWord: 10e-9}
+	measured, err := StageTimes(truth, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A model with doubled constants predicts exactly 2x: ratio 0.5.
+	double := &Machine{Name: "2x", Topo: Loopback{}, RanksPerNode: K, Alpha: 4e-6, BetaWord: 20e-9}
+	rows, err := CompareStageTimes(double, p, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rows[0].Ratio-0.5) > 1e-9 {
+		t.Fatalf("ratio = %g, want 0.5", rows[0].Ratio)
+	}
+	if rows[0].Frames != K-1 || rows[0].Words != int64((K-1)*100) {
+		t.Fatalf("row volume = (%d frames, %d words), want (%d, %d)",
+			rows[0].Frames, rows[0].Words, K-1, (K-1)*100)
+	}
+	var sb strings.Builder
+	WriteDivergence(&sb, double, rows)
+	for _, want := range []string{"pred_us", "meas_us", "ratio", "total", "0.50"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, sb.String())
+		}
+	}
+}

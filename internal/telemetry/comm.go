@@ -26,7 +26,13 @@ func (g *Registry) WrapComm(c runtime.Comm, stageOf StageMapper) runtime.Comm {
 	if g == nil {
 		return c
 	}
-	return &countedComm{Comm: c, t: g.Rank(c.Rank()), stageOf: stageOf}
+	t := g.Rank(c.Rank())
+	if src, ok := c.(runtime.LinkStatsSource); ok {
+		// A transport with per-link wire state (udpnet, tcpnet) feeds its
+		// counters into this rank's snapshots from now on.
+		t.SetLinkSource(src)
+	}
+	return &countedComm{Comm: c, t: t, stageOf: stageOf}
 }
 
 type countedComm struct {
@@ -86,6 +92,12 @@ func (c *countedComm) SendRetains() bool { return runtime.SendRetains(c.Comm) }
 // transport keeps its zero-speculation flow control under instrumentation.
 func (c *countedComm) HintTraffic(stages []runtime.StageTraffic) {
 	runtime.HintTraffic(c.Comm, stages)
+}
+
+// LinkStats forwards the wrapped transport's per-link wire snapshot, so
+// the wrapper is as much a LinkStatsSource as the transport it counts.
+func (c *countedComm) LinkStats() []runtime.LinkStats {
+	return runtime.LinkStatsOf(c.Comm)
 }
 
 func (c *countedComm) Barrier() error {

@@ -106,6 +106,57 @@ func (g *Registry) Handler() http.Handler {
 	return mux
 }
 
+// FleetHandler serves an already-merged fleet snapshot (see
+// MergeSnapshots) the way Handler serves a live registry — one endpoint
+// for the whole multi-process world:
+//
+//	/debug/fleet            merged snapshot (JSON)
+//	/debug/fleet/trace      merged trace-event JSON, world-epoch timeline
+//	/debug/fleet/straggler  per-stage critical-path table (text)
+//	/debug/fleet/hist       merged log-scale histograms (text)
+func FleetHandler(s Snapshot) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/fleet", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s)
+	})
+	mux.HandleFunc("/debug/fleet/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		WriteSnapshotTrace(w, s)
+	})
+	mux.HandleFunc("/debug/fleet/straggler", func(w http.ResponseWriter, r *http.Request) {
+		WriteStragglers(w, s.StageStragglers())
+	})
+	mux.HandleFunc("/debug/fleet/hist", func(w http.ResponseWriter, r *http.Request) {
+		s.FrameSizes.render(w, "frame sizes", "B")
+		s.StageNs.render(w, "stage latencies", "ns")
+		s.DgramSizes.render(w, "datagram sizes", "B")
+	})
+	return mux
+}
+
+// ServeFleetDebug binds addr and serves the fleet endpoints for a merged
+// snapshot until Close — the collector-side counterpart of ServeDebug.
+func ServeFleetDebug(addr string, s Snapshot) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: fleet debug listen %s: %w", addr, err)
+	}
+	ds := &DebugServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: FleetHandler(s)},
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(ds.done)
+		ds.srv.Serve(ln)
+	}()
+	return ds, nil
+}
+
 // ServeDebug binds addr (e.g. "127.0.0.1:0" for an ephemeral port) and
 // serves the /debug mux for this registry until Close. It also publishes
 // the registry's totals under the expvar name "stfw_telemetry". Nil-safe:

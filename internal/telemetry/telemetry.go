@@ -39,6 +39,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"stfw/internal/runtime"
 )
 
 // Kind classifies a recorded span.
@@ -243,15 +245,27 @@ type Rank struct {
 
 	// FrameSizes observes the byte length of every frame this rank sends
 	// through a wrapped communicator; StageNs observes the duration of its
-	// stage-scoped spans (KStage, KForward, KDeliver). The histograms are
-	// per-rank — not registry-global — so hot-path observations never
-	// contend on shared cache lines; Snapshot merges them world-wide.
+	// stage-scoped spans (KStage, KForward, KDeliver); DgramSizes observes
+	// the wire length of every datagram a batched transport first-transmits
+	// or receives (see udpnet), so the realized coalescing shows up as a
+	// distribution, not just a mean. The histograms are per-rank — not
+	// registry-global — so hot-path observations never contend on shared
+	// cache lines; Snapshot merges them world-wide.
 	FrameSizes Histogram
 	StageNs    Histogram
+	DgramSizes Histogram
 
 	spans  []Span
 	cursor atomic.Int64 // total spans ever recorded; ring index = cursor & (cap-1)
+
+	// linkSrc holds the transport's per-link wire-stats source for this
+	// rank (runtime.LinkStatsSource), registered by WrapComm when the
+	// wrapped transport exposes one. Boxed so repeated registrations with
+	// different transports keep a single concrete type in the atomic.Value.
+	linkSrc atomic.Value // of linkSrcBox
 }
+
+type linkSrcBox struct{ src runtime.LinkStatsSource }
 
 // stageSlot folds out-of-range stage indices into the edge slots so a
 // mapper bug can at worst misattribute, never index out of bounds.
@@ -335,6 +349,15 @@ func (t *Rank) CountBatch(dgrams int) {
 	t.BatchDgrams.Add(int64(dgrams))
 }
 
+// ObserveDgram records the wire length of one datagram (sent or received)
+// into the per-rank datagram-size histogram.
+func (t *Rank) ObserveDgram(bytes int) {
+	if t == nil {
+		return
+	}
+	t.DgramSizes.Observe(int64(bytes))
+}
+
 // CountResend records one retransmitted packet.
 func (t *Rank) CountResend() {
 	if t == nil {
@@ -350,6 +373,31 @@ func (t *Rank) CountCreditStall() {
 		return
 	}
 	t.CreditStalls.Add(1)
+}
+
+// SetLinkSource registers the transport's per-link wire-stats source for
+// this rank; a later Snapshot materializes it into RankSnapshot.Links.
+// Registering nil (or registering on a nil Rank) is a no-op, so wiring is
+// unconditional at wrap time.
+func (t *Rank) SetLinkSource(src runtime.LinkStatsSource) {
+	if t == nil || src == nil {
+		return
+	}
+	t.linkSrc.Store(linkSrcBox{src: src})
+}
+
+// LinkStats returns the registered transport's current per-link wire
+// snapshot, nil when no source is registered (or the transport tracks
+// nothing).
+func (t *Rank) LinkStats() []runtime.LinkStats {
+	if t == nil {
+		return nil
+	}
+	box, _ := t.linkSrc.Load().(linkSrcBox)
+	if box.src == nil {
+		return nil
+	}
+	return box.src.LinkStats()
 }
 
 // SpanSince records a span of the given kind that started at start and
@@ -450,8 +498,17 @@ type RankSnapshot struct {
 	BatchDgrams      int64             `json:"batch_dgrams,omitempty"`
 	Resends          int64             `json:"resends,omitempty"`
 	CreditStalls     int64             `json:"credit_stalls,omitempty"`
-	Spans            []Span            `json:"-"`
-	SpanCount        int64             `json:"span_count"`
+	// Links is the transport's per-link wire snapshot (resends, SACK
+	// repairs, smoothed RTT, ack-suppression classes, ...), present when a
+	// LinkStatsSource was registered via WrapComm / SetLinkSource.
+	Links []runtime.LinkStats `json:"links,omitempty"`
+	// EpochOffsetNs places this rank's span timeline on the fleet's world
+	// epoch: worldTime = span.Start + EpochOffsetNs. Zero within a single
+	// process; set by MergeSnapshots when snapshots from processes with
+	// different registry epochs are folded together.
+	EpochOffsetNs int64  `json:"epoch_offset_ns,omitempty"`
+	Spans         []Span `json:"-"`
+	SpanCount     int64  `json:"span_count"`
 }
 
 // Snapshot is a plain-value copy of the whole registry, suitable for
@@ -462,6 +519,7 @@ type Snapshot struct {
 	Ranks      []RankSnapshot `json:"ranks"`
 	FrameSizes HistSnapshot   `json:"frame_sizes"`
 	StageNs    HistSnapshot   `json:"stage_ns"`
+	DgramSizes HistSnapshot   `json:"dgram_sizes,omitempty"`
 }
 
 // Snapshot copies every rank's counters and spans. Nil-safe (returns an
@@ -488,6 +546,7 @@ func (g *Registry) Snapshot() Snapshot {
 			BatchDgrams:      t.BatchDgrams.Load(),
 			Resends:          t.Resends.Load(),
 			CreditStalls:     t.CreditStalls.Load(),
+			Links:            t.LinkStats(),
 			Spans:            t.Spans(),
 			SpanCount:        t.SpanCount(),
 		}
@@ -497,6 +556,7 @@ func (g *Registry) Snapshot() Snapshot {
 		s.Ranks[r] = rs
 		s.FrameSizes.merge(t.FrameSizes.Snapshot())
 		s.StageNs.merge(t.StageNs.Snapshot())
+		s.DgramSizes.merge(t.DgramSizes.Snapshot())
 	}
 	return s
 }

@@ -11,9 +11,11 @@ import (
 // Event Format (the JSON Perfetto and chrome://tracing load). One process
 // represents the world, one thread per rank is one track, and every span
 // is one complete ("X") slice, named by its kind and stage. Timestamps are
-// microseconds since the registry epoch, so slices from all ranks share a
-// timeline and the per-stage skew between ranks — the paper's max-vs-avg
-// story — is directly visible as ragged slice edges.
+// microseconds since the world epoch: each rank's EpochOffsetNs (zero for
+// single-process snapshots, set by MergeSnapshots for fleet merges) shifts
+// its spans onto the shared timeline, so slices from all ranks — across
+// process boundaries — line up and the per-stage skew between ranks, the
+// paper's max-vs-avg story, is directly visible as ragged slice edges.
 
 // TraceEvent is one entry of the "traceEvents" array. Fields follow the
 // Trace Event Format; Ts and Dur are microseconds.
@@ -65,7 +67,8 @@ func buildTrace(s Snapshot) *TraceFile {
 			}
 			tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
 				Name: name, Cat: "stfw", Ph: "X",
-				Ts: float64(sp.Start) / 1e3, Dur: float64(sp.Dur) / 1e3,
+				Ts:  float64(sp.Start+r.EpochOffsetNs) / 1e3,
+				Dur: float64(sp.Dur) / 1e3,
 				Pid: 0, Tid: r.Rank, Args: args,
 			})
 		}
@@ -80,7 +83,13 @@ func (g *Registry) WriteTrace(w io.Writer) error {
 	if g == nil {
 		return fmt.Errorf("telemetry: trace export on a disabled registry")
 	}
-	s := g.Snapshot()
+	return WriteSnapshotTrace(w, g.Snapshot())
+}
+
+// WriteSnapshotTrace renders an already-taken snapshot — typically a fleet
+// merge, whose per-rank epoch offsets place every process's spans on the
+// world timeline — as Chrome trace-event JSON.
+func WriteSnapshotTrace(w io.Writer, s Snapshot) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(buildTrace(s))
 }

@@ -1,0 +1,57 @@
+package tcpnet
+
+import (
+	"sync/atomic"
+
+	"stfw/internal/runtime"
+)
+
+// Per-link wire counters for the coalescing path. tcpnet has no
+// reliability machinery of its own (the kernel's TCP does), so the
+// interesting numbers are what the group-commit layer did: how many
+// frames and wire bytes each directed link moved and how many buffered
+// flushes carried them — Frames/Flushes is the realized coalescing
+// factor, the stream analog of udpnet's datagram batching.
+//
+// The grid is dense (size × size cells of five atomics), indexed
+// [local*size+peer]; one cell holds both directions of the (local, peer)
+// relationship: sends counted by the local rank's Send, receives counted
+// by the local rank's readLoop. Dense is fine at tcpnet's world sizes —
+// the listeners and connections dwarf it.
+type tcpLink struct {
+	framesSent, bytesSent, flushes atomic.Int64
+	framesRecvd, bytesRecvd        atomic.Int64
+}
+
+// cell returns the counter cell for (local, peer).
+func (w *World) cell(local, peer int) *tcpLink {
+	return &w.lm[local*w.size+peer]
+}
+
+// LinkStats implements runtime.LinkStatsSource for one rank: every
+// directed link that saw traffic, sorted by peer. Wire bytes include the
+// 8-byte frame headers; PktsSent counts buffered-writer flushes (the
+// kernel-boundary crossings the group commit is there to minimize).
+func (c *comm) LinkStats() []runtime.LinkStats {
+	w := c.world
+	out := make([]runtime.LinkStats, 0, w.size)
+	for peer := 0; peer < w.size; peer++ {
+		if peer == c.rank {
+			continue
+		}
+		cell := w.cell(c.rank, peer)
+		ls := runtime.LinkStats{
+			Peer:        peer,
+			FramesSent:  cell.framesSent.Load(),
+			BytesSent:   cell.bytesSent.Load(),
+			PktsSent:    cell.flushes.Load(),
+			FramesRecvd: cell.framesRecvd.Load(),
+			BytesRecvd:  cell.bytesRecvd.Load(),
+		}
+		if ls.Zero() {
+			continue
+		}
+		out = append(out, ls)
+	}
+	return out
+}

@@ -91,6 +91,10 @@ type World struct {
 	mu    sync.Mutex
 	conns map[connKey]*conn // send side: (from, to) -> dialed connection
 
+	// lm is the per-directed-link counter grid, [local*size+peer]; see
+	// linkstats.go.
+	lm []tcpLink
+
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -122,6 +126,7 @@ func NewWorld(size int) (*World, error) {
 		barrier: runtime.NewBarrier(size),
 		conns:   map[connKey]*conn{},
 		inboxes: make([]*inbox, size),
+		lm:      make([]tcpLink, size*size),
 		closed:  make(chan struct{}),
 	}
 	for r := range w.inboxes {
@@ -220,6 +225,9 @@ func (w *World) readLoop(to int, c net.Conn) {
 		if !ib.push(inFrame{from: from, tag: tag, payload: payload}) {
 			return // world closed
 		}
+		cell := w.cell(to, from)
+		cell.framesRecvd.Add(1)
+		cell.bytesRecvd.Add(int64(headerLen + int(n)))
 	}
 }
 
@@ -279,10 +287,14 @@ func (c *comm) Send(to, tag int, payload []byte) error {
 		// the buffer), so SendRetains stays false either way.
 		_, werr = cn.bw.Write(payload)
 	}
+	cell := c.world.cell(c.rank, to)
+	cell.framesSent.Add(1)
+	cell.bytesSent.Add(int64(headerLen + len(payload)))
 	// Group commit: if another Send has already announced itself it will
 	// write behind us under this lock and inherit the flush obligation;
 	// otherwise we are the last of the burst and must drain.
 	if cn.pending.Add(-1) == 0 {
+		cell.flushes.Add(1)
 		if ferr := cn.bw.Flush(); werr == nil {
 			werr = ferr
 		}

@@ -23,6 +23,10 @@ type pktSlot struct {
 
 	acked  bool // selectively acked; buffer released, no resend needed
 	queued bool // sitting in the sender's out queue (fresh send or resend)
+	// resent marks a packet that has been queued for retransmission at
+	// least once; Karn's rule excludes it from RTT sampling (the ack could
+	// answer either transmission).
+	resent bool
 	// sending marks the buffer as pinned by an in-progress socket write.
 	// An ack landing mid-write must not release the buffer under the
 	// syscall — release is deferred via releaseAfterSend instead.
@@ -62,10 +66,14 @@ type sendLink struct {
 
 	inFlush bool // registered in the sender's flush set (outQueue.mu)
 	stalled bool // counted a credit stall since the last full drain
+
+	// m is the per-peer wire metrics block shared with the matching
+	// recvLink; nil when the world runs WithoutLinkStats.
+	m *linkMetrics
 }
 
-func newSendLink(peer int) *sendLink {
-	l := &sendLink{peer: peer}
+func newSendLink(peer int, m *linkMetrics) *sendLink {
+	l := &sendLink{peer: peer, m: m}
 	l.cond = sync.NewCond(&l.mu)
 	return l
 }
@@ -127,10 +135,14 @@ type recvLink struct {
 	// stage completes so repeated replays of the same schedule keep
 	// working.
 	hintGot map[int]int
+
+	// m is the per-peer wire metrics block shared with the matching
+	// sendLink; nil when the world runs WithoutLinkStats.
+	m *linkMetrics
 }
 
-func newRecvLink(peer int) *recvLink {
-	return &recvLink{peer: peer}
+func newRecvLink(peer int, m *linkMetrics) *recvLink {
+	return &recvLink{peer: peer, m: m}
 }
 
 // sackBitmap summarizes the out-of-order stash relative to expected: bit i

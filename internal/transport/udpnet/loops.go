@@ -68,6 +68,7 @@ func (w *World) stageAck(rs *rankState, rl *recvLink, batch []sendEntry) []sendE
 	rl.mu.Unlock()
 	buf := buildAck(w.ring.Get(), rs.rank, cum, bm)
 	w.stats.acksSent.Add(1)
+	rl.m.ackSent()
 	return append(batch, sendEntry{buf: buf, to: rl.peer, ack: true})
 }
 
@@ -82,6 +83,7 @@ func (w *World) stageResend(sl *sendLink, seq uint32, now int64, batch []sendEnt
 		return batch
 	}
 	s.sending = true
+	s.resent = true // Karn: this seq's acks no longer yield RTT samples
 	s.lastSend = now
 	return append(batch, sendEntry{buf: s.buf, to: sl.peer, sl: sl, seq: seq})
 }
@@ -104,12 +106,14 @@ func (w *World) drainLink(rs *rankState, sl *sendLink, now int64, batch []sendEn
 		binary.LittleEndian.PutUint32(buf[8:], seq)
 		*s = pktSlot{buf: buf, seq: seq, sending: true, lastSend: now}
 		w.stats.dataSent.Add(1)
+		sl.m.pktSent(len(buf))
 		batch = append(batch, sendEntry{buf: buf, to: sl.peer, sl: sl, seq: seq})
 	}
 	if len(sl.backlog)-sl.backlogHead > 0 {
 		if !sl.stalled {
 			sl.stalled = true
 			w.stats.creditStalls.Add(1)
+			sl.m.windowStall()
 			w.tele(rs.rank).CountCreditStall()
 		}
 	} else {
@@ -128,7 +132,12 @@ func (w *World) transmit(rs *rankState, batch []sendEntry) {
 	}
 	w.stats.batches.Add(1)
 	w.stats.batchDgrams.Add(int64(len(batch)))
-	w.tele(rs.rank).CountBatch(len(batch))
+	if t := w.tele(rs.rank); t != nil {
+		t.CountBatch(len(batch))
+		for _, e := range batch {
+			t.ObserveDgram(len(e.buf))
+		}
+	}
 
 	wire := batch
 	if w.opts.loss > 0 {
@@ -252,6 +261,7 @@ func (w *World) handleDgram(rs *rankState, buf []byte, n int) (kept bool, dirty 
 		w.stats.malformed.Add(1)
 		return false, nil
 	}
+	w.tele(rs.rank).ObserveDgram(n)
 	if h.kind == kindAck {
 		bm, err := parseAck(body)
 		if err != nil {
@@ -264,6 +274,7 @@ func (w *World) handleDgram(rs *rankState, buf []byte, n int) (kept bool, dirty 
 	rl := rs.rl[h.from]
 	switch d := h.seq - rl.expected; {
 	case d == 0:
+		rl.m.pktRecvd(n)
 		w.processPacket(rs, rl, h, body)
 		rl.expected++
 		for {
@@ -285,14 +296,17 @@ func (w *World) handleDgram(rs *rankState, buf []byte, n int) (kept bool, dirty 
 		if rl.pending[idx] == nil {
 			rl.pending[idx] = buf
 			rl.pendLen[idx] = n
+			rl.m.pktRecvd(n)
 			kept = true // gap: batch-end ack carries the bitmap
 		} else {
 			w.stats.dups.Add(1)
+			rl.m.dup()
 		}
 	default:
 		// Old duplicate (or far future, impossible from a correct peer).
 		// Still dirty: re-acking lets a peer that missed our ack advance.
 		w.stats.dups.Add(1)
+		rl.m.dup()
 	}
 	rl.mu.Lock()
 	rl.dirty = true
@@ -346,6 +360,7 @@ func (w *World) deliverChunk(rs *rankState, rl *recvLink, c chunk) bool {
 	payload := rl.cur
 	rl.cur = nil
 	rl.nextFrameID++
+	rl.m.frameRecvd()
 	if c.tag == ctrlEnter || c.tag == ctrlRelease {
 		msg.PutFrame(payload)
 		w.handleCtrl(rs, c.tag)
@@ -399,10 +414,19 @@ func (w *World) maybeAck(rs *rankState, rl *recvLink, now int64) {
 	if !force {
 		rl.mu.Unlock()
 		w.stats.acksSuppressed.Add(1)
+		rl.m.ackSuppressed()
 		return
 	}
-	if rl.hint != nil && rl.stageComplete {
-		w.stats.stageAcks.Add(1)
+	if rl.hint != nil {
+		// Classify what broke the suppression: the zero-speculation path
+		// (a hinted stage's inbound set completed) vs a liveness rule
+		// forcing an early ack despite an unfinished hint.
+		if rl.stageComplete {
+			w.stats.stageAcks.Add(1)
+			rl.m.stageAck()
+		} else {
+			rl.m.livenessAck()
+		}
 	}
 	rl.ackCum = rl.expected
 	rl.ackBm = bm
@@ -433,7 +457,7 @@ func (w *World) handleAck(rs *rankState, sl *sendLink, cum uint32, bm uint64) {
 			return
 		}
 		for seq := sl.sndUna; seq != cum; seq++ {
-			w.freeSlotLocked(sl, seq)
+			w.freeSlotLocked(sl, seq, now)
 		}
 		sl.sndUna = cum
 	}
@@ -449,6 +473,10 @@ func (w *World) handleAck(rs *rankState, sl *sendLink, cum uint32, bm uint64) {
 			s := sl.slot(seq)
 			if s.seq == seq && s.buf != nil && !s.acked {
 				s.acked = true
+				sl.m.sackRepair()
+				if !s.resent {
+					sl.m.rttSample(now - s.lastSend)
+				}
 				if s.sending {
 					s.releaseAfterSend = true
 				} else {
@@ -483,6 +511,7 @@ func (w *World) handleAck(rs *rankState, sl *sendLink, cum uint32, bm uint64) {
 	sl.mu.Unlock()
 	for _, seq := range resend {
 		w.stats.resends.Add(1)
+		sl.m.resend(false) // gap-triggered
 		w.tele(rs.rank).CountResend()
 		rs.enqueue(outItem{sl: sl, seq: seq})
 	}
@@ -492,11 +521,17 @@ func (w *World) handleAck(rs *rankState, sl *sendLink, cum uint32, bm uint64) {
 }
 
 // freeSlotLocked releases the window slot for seq after the cumulative
-// ack passed it; the caller holds sl.mu.
-func (w *World) freeSlotLocked(sl *sendLink, seq uint32) {
+// ack passed it; the caller holds sl.mu. now is the ack arrival time,
+// used for the Karn-filtered RTT sample: a slot that was never resent and
+// never selectively acked (an earlier sack would have sampled a stale
+// round trip here) contributes ack-arrival minus last-send.
+func (w *World) freeSlotLocked(sl *sendLink, seq uint32, now int64) {
 	s := sl.slot(seq)
 	if s.seq != seq {
 		return
+	}
+	if !s.resent && !s.acked && s.buf != nil {
+		sl.m.rttSample(now - s.lastSend)
 	}
 	if s.buf != nil {
 		if s.sending {
@@ -508,6 +543,7 @@ func (w *World) freeSlotLocked(sl *sendLink, seq uint32) {
 	}
 	s.acked = false
 	s.queued = false
+	s.resent = false
 }
 
 // retransmitLoop periodically rescans every local link's window for
@@ -541,6 +577,7 @@ func (w *World) retransmitLoop() {
 				sl.mu.Unlock()
 				for _, seq := range resend {
 					w.stats.resends.Add(1)
+					sl.m.resend(true) // RTO scan
 					w.tele(rs.rank).CountResend()
 					rs.enqueue(outItem{sl: sl, seq: seq})
 				}

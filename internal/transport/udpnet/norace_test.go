@@ -1,0 +1,5 @@
+//go:build !race
+
+package udpnet
+
+const raceEnabled = false

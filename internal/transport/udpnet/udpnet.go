@@ -80,10 +80,11 @@ const (
 type Option func(*options)
 
 type options struct {
-	loss      float64
-	seed      int64
-	noBatchIO bool
-	ringSize  int
+	loss        float64
+	seed        int64
+	noBatchIO   bool
+	ringSize    int
+	noLinkStats bool
 }
 
 // WithLoss injects packet loss: every outbound datagram (data and ack) is
@@ -103,6 +104,14 @@ func WithoutBatchIO() Option {
 // WithRingSize overrides the packet ring preallocation (default 256).
 func WithRingSize(n int) Option {
 	return func(o *options) { o.ringSize = n }
+}
+
+// WithoutLinkStats disables the per-link wire metrics (on by default):
+// every counter hook becomes a nil-receiver no-op and comm.LinkStats
+// returns nil. Exists so the cost of the metrics themselves can be
+// measured; there is no other reason to turn them off.
+func WithoutLinkStats() Option {
+	return func(o *options) { o.noLinkStats = true }
 }
 
 // Stats aggregates a world's transport counters across its local ranks.
@@ -229,6 +238,9 @@ type rankState struct {
 	sl []*sendLink
 	rl []*recvLink
 	ib *inbox
+	// lm holds the per-peer wire metrics blocks (peer-indexed, shared by
+	// sl[p] and rl[p]); nil when the world runs WithoutLinkStats.
+	lm []*linkMetrics
 
 	bar barState
 	out outQueue
@@ -361,9 +373,19 @@ func NewGroup(cfg GroupConfig, opts ...Option) (*World, error) {
 			ib:   newInbox(),
 			rng:  rand.New(rand.NewSource(o.seed + int64(r)*7919)),
 		}
+		if !o.noLinkStats {
+			rs.lm = make([]*linkMetrics, cfg.Size)
+			for p := 0; p < cfg.Size; p++ {
+				rs.lm[p] = &linkMetrics{}
+			}
+		}
 		for p := 0; p < cfg.Size; p++ {
-			rs.sl[p] = newSendLink(p)
-			rs.rl[p] = newRecvLink(p)
+			var m *linkMetrics
+			if rs.lm != nil {
+				m = rs.lm[p]
+			}
+			rs.sl[p] = newSendLink(p, m)
+			rs.rl[p] = newRecvLink(p, m)
 		}
 		rs.out.cond = sync.NewCond(&rs.out.mu)
 		rs.bar.cond = sync.NewCond(&rs.bar.mu)
@@ -729,6 +751,7 @@ func (w *World) sendFrame(rs *rankState, to, tag int, payload []byte) error {
 			w.sealLocked(sl)
 		}
 	}
+	sl.m.frameSent()
 	sl.mu.Unlock()
 	rs.kick(sl)
 	return nil
@@ -747,4 +770,5 @@ func (w *World) sealLocked(sl *sendLink) {
 	sl.backlog = append(sl.backlog, sl.open)
 	sl.open = nil
 	sl.openCount = 0
+	sl.m.noteBacklog(len(sl.backlog) - sl.backlogHead)
 }

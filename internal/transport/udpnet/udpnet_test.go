@@ -102,6 +102,29 @@ func TestLossRecoveredByResend(t *testing.T) {
 	if st.Resends == 0 {
 		t.Error("no resends despite injected drops")
 	}
+	// The per-link counters must show the repairs directly, and agree with
+	// the world totals (any drift means a resend path missed its metric
+	// hook).
+	var linkResends, timeouts, gaps, dups int64
+	for r := 0; r < K; r++ {
+		for _, l := range w.RankLinkStats(r) {
+			linkResends += l.Resends()
+			timeouts += l.TimeoutResends
+			gaps += l.GapResends
+			dups += l.Dups
+			if l.FramesSent > 0 && l.PktsSent == 0 {
+				t.Errorf("rank %d link %d: %d frames sent but no packets counted", r, l.Peer, l.FramesSent)
+			}
+		}
+	}
+	if linkResends != st.Resends {
+		t.Errorf("per-link resends %d (timeout %d + gap %d) != world resends %d",
+			linkResends, timeouts, gaps, st.Resends)
+	}
+	if linkResends == 0 {
+		t.Error("per-link counters recorded no resends despite injected drops")
+	}
+	t.Logf("drops=%d resends=%d (timeout=%d gap=%d) dups=%d", st.InjectedDrops, linkResends, timeouts, gaps, dups)
 }
 
 func TestLargeFrameFragmentation(t *testing.T) {
@@ -252,7 +275,29 @@ func TestHintedAcksSuppressSpeculation(t *testing.T) {
 	if st.StageAcks == 0 {
 		t.Error("hints installed but no stage-completion acks fired")
 	}
-	t.Logf("stats: %+v", st)
+	// The per-link ack classification must agree with the world totals.
+	var acksSent, suppressed, stage, liveness int64
+	for r := 0; r < K; r++ {
+		for _, l := range w.RankLinkStats(r) {
+			acksSent += l.AcksSent
+			suppressed += l.AcksSuppressed
+			stage += l.StageAcks
+			liveness += l.LivenessAcks
+		}
+	}
+	if acksSent != st.AcksSent {
+		t.Errorf("per-link acks sent %d != world %d", acksSent, st.AcksSent)
+	}
+	if suppressed != st.AcksSuppressed {
+		t.Errorf("per-link acks suppressed %d != world %d", suppressed, st.AcksSuppressed)
+	}
+	if stage != st.StageAcks {
+		t.Errorf("per-link stage acks %d != world %d", stage, st.StageAcks)
+	}
+	if stage == 0 {
+		t.Error("stage-completion acks not visible in per-link counters")
+	}
+	t.Logf("stats: %+v (per-link: suppressed=%d liveness=%d)", st, suppressed, liveness)
 }
 
 // TestGroupTwoWorlds runs a 4-rank world split across two World instances
