@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"stfw/internal/core"
+	"stfw/internal/experiments"
+	"stfw/internal/runtime"
+	"stfw/internal/transport/chanpt"
+	"stfw/internal/transport/hier"
+	"stfw/internal/transport/udpnet"
+	"stfw/internal/vpt"
+)
+
+// The hier experiment confronts the dimension-assignment planner's model
+// with a measurement. First the planner table: the default balanced
+// assignment next to the planned one for the live instance on the XC40
+// profile (32 ranks/node — K=64 spans exactly two nodes, the same split the
+// measured run simulates). Then the measurement: the planner's node-aligned
+// T2(32,2) learned replay executed twice on loopback, once with every frame
+// over udpnet and once through the hierarchical composite that keeps
+// dimension 0 on the in-process transport. The absolute numbers live in
+// different worlds (the model prices a Dragonfly, the measurement a
+// loopback host), so the comparison row at the bottom lines up the two
+// *ratios*: what the model claims the hierarchy is worth against what the
+// wire measured.
+const (
+	hierIters   = 100
+	hierDests   = 8
+	hierPayload = 256
+)
+
+// hierReplayPayloads builds the per-rank payload maps of the measured
+// replay: hierDests random destinations, hierPayload bytes each.
+func hierReplayPayloads(K int) []map[int][]byte {
+	rng := rand.New(rand.NewSource(int64(K) * 11))
+	out := make([]map[int][]byte, K)
+	for src := 0; src < K; src++ {
+		m := map[int][]byte{}
+		for len(m) < hierDests {
+			dst := rng.Intn(K)
+			if dst == src {
+				continue
+			}
+			p := make([]byte, hierPayload)
+			for i := range p {
+				p[i] = byte(src + i)
+			}
+			m[dst] = p
+		}
+		out[src] = m
+	}
+	return out
+}
+
+// measureReplayFPS learns the schedule once per rank and replays it iters
+// times, returning world frames/sec over the whole run (learning included;
+// it amortizes across the iterations).
+func measureReplayFPS(comms []runtime.Comm, tp *vpt.Topology, iters int) (float64, error) {
+	payloads := hierReplayPayloads(len(comms))
+	var framesPerIter atomic.Int64
+	start := time.Now()
+	err := runtime.Run(comms, func(c runtime.Comm) error {
+		p, _, err := core.NewPersistent(c, tp, payloads[c.Rank()])
+		if err != nil {
+			return err
+		}
+		for _, st := range p.Traffic() {
+			for _, pt := range st.Sends {
+				framesPerIter.Add(int64(pt.Frames))
+			}
+		}
+		for i := 0; i < iters; i++ {
+			if _, err := p.Run(c, payloads[c.Rank()]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(framesPerIter.Load()) * float64(iters) / time.Since(start).Seconds(), nil
+}
+
+func runHier(cfg benchConfig) error {
+	rows, err := experiments.HierPlanTable(cfg.Config, liveMatrix, liveK, "xc40")
+	if err != nil {
+		return err
+	}
+	experiments.RenderHierPlanTable(os.Stdout, liveMatrix, liveK, "xc40", rows)
+
+	tp, err := vpt.New(32, 2)
+	if err != nil {
+		return err
+	}
+	half := liveK / 2
+	fmt.Printf("\nmeasured replay: %s, K=%d, %d iterations, %d dests x %dB per rank, 2-node split (%d ranks/node)\n",
+		tp, liveK, hierIters, hierDests, hierPayload, half)
+
+	udpW, err := udpnet.NewWorld(liveK)
+	if err != nil {
+		return err
+	}
+	udpFPS, err := measureReplayFPS(udpW.Comms(), tp, hierIters)
+	udpW.Close()
+	if err != nil {
+		return err
+	}
+
+	inner, err := chanpt.NewWorld(liveK, liveK)
+	if err != nil {
+		return err
+	}
+	outer, err := udpnet.NewWorld(liveK)
+	if err != nil {
+		return err
+	}
+	hw, err := hier.New(hier.Config{
+		Inner:  inner.Comms(),
+		Outer:  outer.Comms(),
+		NodeOf: func(r int) int { return r / half },
+	})
+	if err != nil {
+		outer.Close()
+		inner.Close()
+		return err
+	}
+	hierFPS, err := measureReplayFPS(hw.Comms(), tp, hierIters)
+	st := outer.Stats()
+	outer.Close()
+	inner.Close()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-28s %14s\n", "transport", "frames/sec")
+	fmt.Printf("%-28s %14.0f\n", "udpnet (all frames on wire)", udpFPS)
+	fmt.Printf("%-28s %14.0f\n", "hier (chanpt + udpnet)", hierFPS)
+	fmt.Printf("hier outer wire traffic: %d data dgrams in %d batches, %d resends\n",
+		st.DataSent, st.Batches, st.Resends)
+	measured := hierFPS / udpFPS
+	modeled := 0.0
+	if len(rows) == 2 && rows[1].CostSec > 0 {
+		modeled = rows[0].CostSec / rows[1].CostSec
+	}
+	fmt.Printf("measured speedup %.2fx (hier over pure udpnet) vs modeled %.2fx (planned over base assignment)\n",
+		measured, modeled)
+	return nil
+}

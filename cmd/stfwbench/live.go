@@ -13,6 +13,7 @@ import (
 	"stfw/internal/spmv"
 	"stfw/internal/telemetry"
 	"stfw/internal/transport/chanpt"
+	"stfw/internal/transport/hier"
 	"stfw/internal/transport/tcpnet"
 	"stfw/internal/transport/udpnet"
 	"stfw/internal/vpt"
@@ -97,8 +98,38 @@ func runLive(c experiments.Config, cfg benchConfig, reg *telemetry.Registry) err
 				st.DataSent, st.Batches, st.Resends, st.StageAcks, st.AcksSuppressed)
 		}()
 		comms = w.Comms()
+	case "hier":
+		// The hierarchical composite on a simulated two-node split of the
+		// world: intra-node pairs over chanpt, inter-node pairs (and the
+		// world barrier) over udpnet.
+		inner, err := chanpt.NewWorld(liveK, liveK)
+		if err != nil {
+			return err
+		}
+		outer, err := udpnet.NewWorld(liveK)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			st := outer.Stats()
+			outer.Close()
+			inner.Close()
+			fmt.Printf("hier outer udpnet: %d data dgrams in %d batches, %d resends, %d stage acks, %d acks suppressed\n",
+				st.DataSent, st.Batches, st.Resends, st.StageAcks, st.AcksSuppressed)
+		}()
+		half := liveK / 2
+		hw, err := hier.New(hier.Config{
+			Inner:  inner.Comms(),
+			Outer:  outer.Comms(),
+			NodeOf: func(r int) int { return r / half },
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hier transport: 2-node split (%d ranks/node), intra-node chanpt, inter-node udpnet\n", half)
+		comms = hw.Comms()
 	default:
-		return fmt.Errorf("unknown transport %q (want chan, tcp, or udp)", cfg.transport)
+		return fmt.Errorf("unknown transport %q (want chan, tcp, udp, or hier)", cfg.transport)
 	}
 	stages := tp.N()
 	reg.WrapComms(comms, func(tag int) (int, bool) {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	stfwbench -exp table1|fig1|table2|fig6|fig7|fig8|fig9|table3|fig10|partitioners|skew|mapping|stencil|dynamic|live|netstat|all [-scale N]
+//	stfwbench -exp table1|fig1|table2|fig6|fig7|fig8|fig9|table3|fig10|partitioners|skew|mapping|stencil|dynamic|live|netstat|hier|all [-scale N]
 //
 // -scale shrinks the catalog matrices (sparse.ScaleParams semantics);
 // scale 1 is full size. The default of 8 preserves every regime the paper
@@ -28,6 +28,13 @@
 // against the netsim cost model calibrated from the measured RTTs. With
 // -procs P the world spans P OS processes whose snapshots are merged into
 // one fleet report; -debug-addr then serves the merged /debug/fleet view.
+//
+// The "hier" experiment exercises the hierarchical composite transport: it
+// prints the dimension-assignment planner's table (default vs planned
+// factorization, node-crossing volume, modeled cost) and then measures the
+// planned node-aligned replay twice — every frame over udpnet, and through
+// the hier mux that keeps intra-node dimensions on the in-process transport
+// — lining the measured speedup up against the modeled one.
 package main
 
 import (
@@ -66,7 +73,7 @@ func main() {
 	}
 
 	var cfg benchConfig
-	exp := flag.String("exp", "all", "experiment to run: table1, fig1, table2, fig6, fig7, fig8, fig9, table3, fig10, partitioners, skew, mapping, stencil, dynamic, live, netstat, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, fig1, table2, fig6, fig7, fig8, fig9, table3, fig10, partitioners, skew, mapping, stencil, dynamic, live, netstat, hier, all")
 	verify := flag.Bool("verify", false, "run the whole-world schedule verifier over the conformance topologies and exit")
 	flag.IntVar(&cfg.Scale, "scale", 8, "matrix shrink factor (1 = full-size structures)")
 	flag.BoolVar(&cfg.telemetry, "telemetry", false, "collect live telemetry (implied by -exp live)")
@@ -74,7 +81,7 @@ func main() {
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /debug (expvar, pprof, telemetry) on this address while running")
 	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile to this file at exit")
-	flag.StringVar(&cfg.transport, "transport", "chan", "live-run transport: chan (in-process channels), tcp (loopback TCP streams), udp (batched loopback datagrams)")
+	flag.StringVar(&cfg.transport, "transport", "chan", "live-run transport: chan (in-process channels), tcp (loopback TCP streams), udp (batched loopback datagrams), hier (two-node split: chanpt intra-node + udpnet inter-node)")
 	flag.IntVar(&cfg.procs, "procs", 1, "with -transport udp: split the live world across this many OS processes (loopback multi-process mode)")
 	flag.Parse()
 
@@ -130,6 +137,7 @@ func run(cfg benchConfig, exp string) error {
 		"dynamic":      runDynamic,
 		"live":         func(c experiments.Config) error { return runLive(c, cfg, reg) },
 		"netstat":      func(experiments.Config) error { return runNetstat(cfg) },
+		"hier":         func(experiments.Config) error { return runHier(cfg) },
 	}
 	order := []string{"table1", "fig1", "table2", "fig6", "fig7", "fig8", "fig9", "table3", "fig10",
 		"partitioners", "skew", "mapping", "stencil", "dynamic"}

@@ -9,14 +9,17 @@
 //	vptinfo -k 256                  # Section 5 schemes + Section 4 bounds
 //	vptinfo -k 64 -n 3 -p 22        # a process's neighborhood (Figure 2)
 //	vptinfo -k 64 -n 3 -route 5,42  # the dimension-ordered route (Section 3)
+//	vptinfo -k 64 -machine xc40     # dimension → transport assignment (hier)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"stfw/internal/core"
+	"stfw/internal/netsim"
 	"stfw/internal/vpt"
 )
 
@@ -25,8 +28,9 @@ func main() {
 	n := flag.Int("n", 0, "with -p or -route: VPT dimension (default: 3 or max)")
 	p := flag.Int("p", -1, "show the neighborhood of this rank (Figure 2 of the paper)")
 	route := flag.String("route", "", "show the dimension-ordered route between two ranks, e.g. -route 5,42")
+	machine := flag.String("machine", "", "show each balanced topology's dimension → transport assignment on this profile (bgq, xk7, xc40)")
 	flag.Parse()
-	if err := run(*k, *n, *p, *route); err != nil {
+	if err := run(*k, *n, *p, *route, *machine); err != nil {
 		fmt.Fprintf(os.Stderr, "vptinfo: %v\n", err)
 		os.Exit(1)
 	}
@@ -90,9 +94,67 @@ func showRoute(K, n int, spec string) error {
 	return nil
 }
 
-func run(K, n, p int, route string) error {
+// showAssignment prints, for each balanced topology, which dimensions a
+// hierarchical composite transport (internal/transport/hier) serves
+// intra-node and which touch the wire, under the machine profile's linear
+// rank packing. Dimension d is intra-node exactly when every dimension-d
+// group fits inside (and aligns with) one node's rank block: the prefix
+// product k_1*...*k_{d+1} must divide the ranks-per-node count — the
+// structural version of the traffic-relative split mapping.PlanDims
+// reports.
+func showAssignment(K int, machine string) error {
+	var m *netsim.Machine
+	var err error
+	switch machine {
+	case "bgq":
+		m, err = netsim.BlueGeneQ(K)
+	case "xk7":
+		m, err = netsim.CrayXK7(K)
+	case "xc40":
+		m, err = netsim.CrayXC40(K)
+	default:
+		return fmt.Errorf("unknown machine %q (want bgq, xk7, or xc40)", machine)
+	}
+	if err != nil {
+		return err
+	}
+	g := m.RanksPerNode
+	fmt.Printf("dimension → transport assignment on %s (%d ranks/node, linear packing)\n\n", m.Name, g)
+	fmt.Printf("%-6s %-22s %5s  %s\n", "dim", "topology", "split", "assignment")
+	for n := 1; n <= vpt.MaxDim(K); n++ {
+		t, err := vpt.NewBalanced(K, n)
+		if err != nil {
+			return err
+		}
+		split := 0
+		prefix := 1
+		var parts []string
+		for d := 0; d < t.N(); d++ {
+			prefix *= t.Dim(d)
+			intra := prefix <= g && g%prefix == 0
+			if intra && split == d {
+				split++
+			}
+			side := "wire"
+			if intra {
+				side = "intra"
+			}
+			parts = append(parts, fmt.Sprintf("d%d:%s", d, side))
+		}
+		fmt.Printf("T%-5d %-22s %5d  %s\n", n, t.String(), split, strings.Join(parts, " "))
+	}
+	fmt.Printf("\nsplit: leading dimensions whose stages a hier mux keeps entirely\n")
+	fmt.Printf("intra-node (chanpt); the rest cross node boundaries (udpnet/tcpnet).\n")
+	fmt.Printf("mapping.PlanDims refines this with the application's real traffic.\n")
+	return nil
+}
+
+func run(K, n, p int, route, machine string) error {
 	if K < 2 || K&(K-1) != 0 {
 		return fmt.Errorf("K must be a power of two >= 2, got %d", K)
+	}
+	if machine != "" {
+		return showAssignment(K, machine)
 	}
 	if p >= 0 {
 		return showNeighborhood(K, n, p)

@@ -3,25 +3,33 @@ package main
 import "testing"
 
 func TestRunModes(t *testing.T) {
-	if err := run(63, 0, -1, ""); err == nil {
+	if err := run(63, 0, -1, "", ""); err == nil {
 		t.Error("non-power-of-two K accepted")
 	}
-	if err := run(64, 0, -1, ""); err != nil {
+	if err := run(64, 0, -1, "", ""); err != nil {
 		t.Errorf("table mode: %v", err)
 	}
-	if err := run(64, 3, 22, ""); err != nil {
+	if err := run(64, 3, 22, "", ""); err != nil {
 		t.Errorf("neighborhood mode: %v", err)
 	}
-	if err := run(64, 3, 99, ""); err == nil {
+	if err := run(64, 3, 99, "", ""); err == nil {
 		t.Error("out-of-range rank accepted")
 	}
-	if err := run(64, 3, -1, "5,42"); err != nil {
+	if err := run(64, 3, -1, "5,42", ""); err != nil {
 		t.Errorf("route mode: %v", err)
 	}
-	if err := run(64, 3, -1, "banana"); err == nil {
+	if err := run(64, 3, -1, "banana", ""); err == nil {
 		t.Error("malformed route accepted")
 	}
-	if err := run(64, 3, -1, "5,99"); err == nil {
+	if err := run(64, 3, -1, "5,99", ""); err == nil {
 		t.Error("out-of-range route accepted")
+	}
+	for _, machine := range []string{"bgq", "xk7", "xc40"} {
+		if err := run(64, 0, -1, "", machine); err != nil {
+			t.Errorf("assignment mode %s: %v", machine, err)
+		}
+	}
+	if err := run(64, 0, -1, "", "cm5"); err == nil {
+		t.Error("unknown machine accepted")
 	}
 }

@@ -1,0 +1,81 @@
+package stfw
+
+// The hierarchical-composite acceptance gate: on a simulated two-node
+// split of the K=64 learned-replay workload, routing intra-node pairs over
+// chanpt and only inter-node pairs over udpnet must beat pure udpnet by
+// >=1.15x frames/sec. The replay runs the planner's node-aligned
+// factorization T2(32,2) — dimension 0 spans exactly one node, so its
+// stage never touches the wire under the mux — on both transports, making
+// the comparison a pure transport substitution.
+//
+// TestWriteHierBenchJSON renders the measurement into BENCH_hier.json when
+// BENCH_HIER_JSON names an output path.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"stfw/internal/vpt"
+)
+
+// hierBenchReport is the BENCH_hier.json schema.
+type hierBenchReport struct {
+	Note          string  `json:"note"`
+	K             int     `json:"k"`
+	Dims          []int   `json:"dims"`
+	Nodes         int     `json:"nodes"`
+	PayloadBytes  int     `json:"payload_bytes"`
+	UDPFramesSec  float64 `json:"udpnet_frames_per_sec"`
+	HierFramesSec float64 `json:"hier_frames_per_sec"`
+	HierOverUDP   float64 `json:"hier_over_udp"`
+}
+
+// TestWriteHierBenchJSON measures pure udpnet against the hierarchical
+// composite via testing.Benchmark, gates the >=1.15x acceptance bar, and
+// writes the report to the path named by BENCH_HIER_JSON.
+func TestWriteHierBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_HIER_JSON")
+	if path == "" {
+		t.Skip("BENCH_HIER_JSON not set")
+	}
+	tp, err := vpt.New(32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(transport string) float64 {
+		var fps float64
+		res := testing.Benchmark(func(b *testing.B) {
+			comms, stop := tptBenchWorld(b, transport, tptBenchK)
+			defer stop()
+			fps = runTransportThroughputOn(b, comms, tp)
+		})
+		t.Logf("%s: %v, %.0f frames/sec", transport, res, fps)
+		return fps
+	}
+	report := hierBenchReport{
+		Note: fmt.Sprintf("K=%d dims=[32 2] learned-replay throughput on a simulated 2-node split, "+
+			"%d dests x %dB per rank: pure udpnet vs hier (chanpt intra-node + udpnet inter-node)",
+			tptBenchK, tptBenchDests, tptBenchPayload),
+		K:            tptBenchK,
+		Dims:         []int{32, 2},
+		Nodes:        2,
+		PayloadBytes: tptBenchPayload,
+	}
+	report.UDPFramesSec = measure("udpnet")
+	report.HierFramesSec = measure("hier")
+	report.HierOverUDP = report.HierFramesSec / report.UDPFramesSec
+	if report.HierOverUDP < 1.15 {
+		t.Errorf("hier %.0f frames/sec is only %.2fx udpnet's %.0f, want >=1.15x",
+			report.HierFramesSec, report.HierOverUDP, report.UDPFramesSec)
+	}
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

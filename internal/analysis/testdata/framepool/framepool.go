@@ -191,3 +191,72 @@ func badRingPutFrontReslice(r *udpnet.PacketRing) {
 	b := r.Get()
 	r.Put(b[2:]) // want "drops the buffer's front"
 }
+
+// --- hierarchical mux boundary (internal/transport/hier): a frame crossing
+// the composite transport resolves ownership exactly once, whichever
+// sub-transport the pair rule routes it to ---
+
+// muxComm mirrors the hier endpoint shape: Send routes to one of two
+// sub-transports by destination; for ownership the route taken is
+// irrelevant — one Send is one hand-off.
+type muxComm struct {
+	inner, outer comm
+	nodeOf       func(int) int
+}
+
+func (m *muxComm) Send(to, tag int, payload []byte) error {
+	if m.nodeOf(to) == m.nodeOf(0) {
+		return m.inner.Send(to, tag, payload)
+	}
+	return m.outer.Send(to, tag, payload)
+}
+
+// The caller's view: a Send through the mux transfers ownership like any
+// transport Send (the retains answer is the union of the sub-transports').
+func okSendThroughMux(m *muxComm, retains bool, n int) error {
+	buf := msg.GetFrameCap(n)
+	err := m.Send(1, 7, buf)
+	if !retains {
+		msg.PutFrame(buf)
+	}
+	return err
+}
+
+// The mux's view: both route branches hand the frame off, so a frame
+// minted for either side is resolved on every path.
+func okRouteEitherSubReleases(m *muxComm, intra bool, n int) error {
+	buf := msg.GetFrameCap(n)
+	if intra {
+		return m.inner.Send(1, 7, buf)
+	}
+	return m.outer.Send(2, 7, buf)
+}
+
+// The cross-sub arbitration stash: a puller that parks a pulled frame in
+// the shared stash escapes it — the stash owns it until a receiver claims
+// it.
+type arrivalStash struct{ frames [][]byte }
+
+func okStashArrivalOwnsFrame(s *arrivalStash, n int) {
+	buf := msg.GetFrameLen(n)
+	s.frames = append(s.frames, buf)
+}
+
+// A mux Send that validates the destination before routing must not strand
+// the frame on the rejection path.
+func badMuxValidationLeaksFrame(m *muxComm, to, n int) error {
+	buf := msg.GetFrameLen(n)
+	if to < 0 {
+		return nil // want "leaks on this return path"
+	}
+	return m.Send(to, 7, buf)
+}
+
+// A puller that only stashes on its success path drops the frame when the
+// pull is cancelled.
+func badPullerDropsFrameOnCancel(s *arrivalStash, cancelled bool, n int) {
+	buf := msg.GetFrameLen(n) // want "not released on every path"
+	if !cancelled {
+		s.frames = append(s.frames, buf)
+	}
+}

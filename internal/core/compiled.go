@@ -76,6 +76,7 @@ func (r *Replay) Instrument(t *telemetry.Rank) { r.tele = t }
 // neighbors and the receive schedule for the frames arriving from them.
 type rStage struct {
 	tag      int
+	dim      int // VPT dimension the stage traverses (ScheduleStage.Dim)
 	frames   []rFrame
 	recvFrom []int   // expected senders, learning receive order
 	inIdx    []int32 // retention slot per sender (index into inFrames)
@@ -177,6 +178,7 @@ func (p *Persistent) Compile(xlen int, gather map[int][]int32) (*Replay, error) 
 		st := &r.stages[d]
 		ss := &sched.Stages[d]
 		st.tag = ss.Tag
+		st.dim = ss.Dim
 
 		// Outgoing frames follow the schedule's send slots (learning send
 		// order, empty frames included); each slot's learned wire layout
@@ -334,7 +336,7 @@ func NewDirectReplay(me, size, xlen int, gather map[int][]int32, srcWords map[in
 	}
 	sort.Ints(srcs)
 
-	st := rStage{tag: tagBase - 1}
+	st := rStage{tag: tagBase - 1, dim: 0}
 	haloAt := int32(0)
 	for _, src := range srcs {
 		if src == me {

@@ -18,6 +18,7 @@ import (
 	"stfw/internal/runtime"
 	"stfw/internal/telemetry"
 	"stfw/internal/transport/chanpt"
+	"stfw/internal/transport/hier"
 	"stfw/internal/transport/tcpnet"
 	"stfw/internal/transport/udpnet"
 	"stfw/internal/vpt"
@@ -278,6 +279,57 @@ func TestConformanceUDP(t *testing.T) {
 					opts = append(opts, core.Ordered())
 				}
 				runConformance(t, w.Comms(), tp, dests, opts...)
+			})
+		}
+	}
+}
+
+// TestConformanceHier runs the full differential suite over the
+// hierarchical composite transport: chanpt carrying intra-node pairs and
+// udpnet carrying inter-node pairs, under a two-node split of every
+// conformance world (K∈{8,16,64} balanced shapes plus the mixed-radix
+// sizes). Every world is VerifyWorld-gated, and the node boundary is
+// deliberately *not* aligned with a VPT digit split for most shapes, so
+// single stages carry frames on both sub-transports and the cross-sub
+// arbitration path runs under both engines.
+func TestConformanceHier(t *testing.T) {
+	for _, tp := range conformanceTopologies(t) {
+		if testing.Short() && tp.Size() > 16 {
+			continue
+		}
+		for _, ordered := range []bool{false, true} {
+			tp := tp
+			ordered := ordered
+			t.Run(fmt.Sprintf("K=%d/dims=%v/%s", tp.Size(), tp.Dims(), engineName(ordered)), func(t *testing.T) {
+				if err := core.VerifyWorld(core.WorldSchedules(tp)); err != nil {
+					t.Fatalf("schedule world invalid before transport test: %v", err)
+				}
+				K := tp.Size()
+				cw, err := chanpt.NewWorld(K, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer cw.Close()
+				uw, err := udpnet.NewWorld(K)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer uw.Close()
+				half := (K + 1) / 2
+				hw, err := hier.New(hier.Config{
+					Inner:  cw.Comms(),
+					Outer:  uw.Comms(),
+					NodeOf: func(r int) int { return r / half },
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				dests := confSendSets(int64(K), K)
+				var opts []core.ExchangeOpt
+				if ordered {
+					opts = append(opts, core.Ordered())
+				}
+				runConformance(t, hw.Comms(), tp, dests, opts...)
 			})
 		}
 	}

@@ -52,6 +52,15 @@ const censusTagBase = tagBase + 0x100
 // telemetry should not attribute them to data stages.
 func CensusTag(d int) int { return censusTagBase + d }
 
+// AppTagSpan returns the half-open tag range [lo, hi) every exchange path
+// draws from for a world of at most maxStages stages: the direct-baseline
+// tag, the stage tags, and the census tags. Transports that reserve tags
+// for their own control traffic (runtime.TagReserver) must reserve outside
+// this span; composite transports check the two never overlap.
+func AppTagSpan(maxStages int) (lo, hi int) {
+	return tagBase - 1, censusTagBase + maxStages
+}
+
 // ExchangeOpt configures an Exchange, DirectExchange, or Persistent.Run
 // call. All ranks of a collective call must pass the same options.
 type ExchangeOpt func(*exchangeOptions)

@@ -225,6 +225,7 @@ func (p *Persistent) Schedule() *StageSchedule {
 	for d := 0; d < t.N(); d++ {
 		st := &sched.Stages[d]
 		st.Tag = StageTag(d)
+		st.Dim = d
 		st.Sends = make([]SendSlot, len(p.nbrFrames[d]))
 		for j, nf := range p.nbrFrames[d] {
 			reserve := 0

@@ -46,6 +46,14 @@ type SendSlot struct {
 type ScheduleStage struct {
 	// Tag is the transport tag all frames of the stage travel under.
 	Tag int
+	// Dim is the VPT dimension the stage traverses — the routing digit its
+	// frames advance. Historically this was implicit in the tag layout
+	// (Tag == StageTag(Dim)); it is explicit so that consumers below the
+	// schedule layer (composite transports, telemetry attribution) route by
+	// dimension metadata instead of reversing tag arithmetic. The direct
+	// baseline's single stage uses Dim 0. Every front-end populates it and
+	// VerifyWorld checks it stays in lockstep across ranks.
+	Dim int
 	// Sends lists the outbound frames in send order. A slot produces a
 	// frame even when it carries no submessages: empty frames keep every
 	// rank's receive count deterministic.
@@ -74,6 +82,7 @@ func buildTopologySchedule(t *vpt.Topology, me int) *StageSchedule {
 	for d := 0; d < t.N(); d++ {
 		st := &sched.Stages[d]
 		st.Tag = StageTag(d)
+		st.Dim = d
 		myDigit := t.Digit(me, d)
 		kd := t.Dim(d)
 		st.Sends = make([]SendSlot, 0, kd-1)
@@ -140,7 +149,7 @@ func (p *Plan) scheduleFor(me int) *StageSchedule {
 // destination (send order = ascending rank) and one expected frame per
 // source.
 func buildDirectSchedule(me int, dests []int, recvFrom []int) *StageSchedule {
-	st := ScheduleStage{Tag: tagBase - 1}
+	st := ScheduleStage{Tag: tagBase - 1, Dim: 0}
 	for _, dst := range dests {
 		if dst == me {
 			continue

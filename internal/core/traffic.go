@@ -27,7 +27,7 @@ func (s *StageSchedule) Traffic() []runtime.StageTraffic {
 		out := make([]runtime.StageTraffic, len(s.Stages))
 		for d := range s.Stages {
 			st := &s.Stages[d]
-			tr := runtime.StageTraffic{Tag: st.Tag}
+			tr := runtime.StageTraffic{Tag: st.Tag, Dim: st.Dim}
 			if len(st.Sends) > 0 {
 				tr.Sends = make([]runtime.PeerTraffic, len(st.Sends))
 				for j, sl := range st.Sends {
@@ -71,7 +71,7 @@ func (p *Persistent) Traffic() []runtime.StageTraffic {
 	out := make([]runtime.StageTraffic, len(sched.Stages))
 	for d := range sched.Stages {
 		st := &sched.Stages[d]
-		tr := runtime.StageTraffic{Tag: st.Tag}
+		tr := runtime.StageTraffic{Tag: st.Tag, Dim: st.Dim}
 		tr.Sends = make([]runtime.PeerTraffic, len(st.Sends))
 		for j, nf := range p.nbrFrames[d] {
 			var slots []slotKey
@@ -98,7 +98,7 @@ func (r *Replay) computeTraffic() []runtime.StageTraffic {
 	out := make([]runtime.StageTraffic, len(r.stages))
 	for d := range r.stages {
 		st := &r.stages[d]
-		tr := runtime.StageTraffic{Tag: st.tag}
+		tr := runtime.StageTraffic{Tag: st.tag, Dim: st.dim}
 		if len(st.frames) > 0 {
 			tr.Sends = make([]runtime.PeerTraffic, len(st.frames))
 			for j := range st.frames {

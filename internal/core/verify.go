@@ -75,7 +75,11 @@ func VerifyWorld(scheds []*StageSchedule) error {
 		return v.join()
 	}
 
-	// Lockstep structure: stage counts and tags must agree across ranks.
+	// Lockstep structure: stage counts, tags, and dimensions must agree
+	// across ranks. The dimension is routing metadata consumed below the
+	// schedule layer (composite transports pick a sub-transport by it), so a
+	// per-rank disagreement would silently split one stage's frames across
+	// transports.
 	ref := scheds[0]
 	for r, s := range scheds {
 		if len(s.Stages) != len(ref.Stages) {
@@ -85,6 +89,11 @@ func VerifyWorld(scheds []*StageSchedule) error {
 		for d := range s.Stages {
 			if s.Stages[d].Tag != ref.Stages[d].Tag {
 				v.addf("core: verify: stage %d: rank %d uses tag %#x, rank 0 uses %#x", d, r, s.Stages[d].Tag, ref.Stages[d].Tag)
+			}
+			if dim := s.Stages[d].Dim; dim < 0 || dim >= len(s.Stages) {
+				v.addf("core: verify: stage %d: rank %d declares dimension %d, outside [0,%d)", d, r, dim, len(s.Stages))
+			} else if dim != ref.Stages[d].Dim {
+				v.addf("core: verify: stage %d: rank %d routes dimension %d, rank 0 routes %d", d, r, dim, ref.Stages[d].Dim)
 			}
 		}
 	}

@@ -114,6 +114,7 @@ func copyWorld(scheds []*core.StageSchedule) []*core.StageSchedule {
 		for d, st := range s.Stages {
 			cs.Stages[d] = core.ScheduleStage{
 				Tag:      st.Tag,
+				Dim:      st.Dim,
 				Sends:    append([]core.SendSlot(nil), st.Sends...),
 				RecvFrom: append([]int(nil), st.RecvFrom...),
 			}
@@ -169,6 +170,20 @@ func TestVerifyWorldRejectsMutations(t *testing.T) {
 				w[5].Stages[1].Tag++
 			},
 			want: "uses tag",
+		},
+		{
+			name: "dimension skew",
+			mutate: func(w []*core.StageSchedule) {
+				w[5].Stages[1].Dim = 0
+			},
+			want: "routes dimension",
+		},
+		{
+			name: "dimension out of range",
+			mutate: func(w []*core.StageSchedule) {
+				w[1].Stages[0].Dim = len(w[1].Stages)
+			},
+			want: "outside",
 		},
 		{
 			name: "stage count skew",

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"stfw/internal/mapping"
+	"stfw/internal/netsim"
+	"stfw/internal/vpt"
+)
+
+// The hierarchical-transport experiment: the dimension-assignment planner
+// (mapping.PlanDims) run over a real instance, reported as a table lining
+// the default balanced assignment up against the planned one. The modeled
+// columns are the planner's objective (netsim.CommTime of the exact plan on
+// the placed machine) and the node-crossing word volume the split
+// concentrates into the outer dimensions; cmd/stfwbench pairs the table
+// with a measured replay over the real composite transport.
+
+// HierAssignment is one row of the dimension-assignment table.
+type HierAssignment struct {
+	Label      string
+	Dims       []int
+	Split      int
+	CrossWords int64
+	CostSec    float64
+}
+
+// HierPlanTable prepares the (matrix, K) instance, prices the default
+// assignment (balanced 2-dimensional VPT, linear packing), runs the planner,
+// and returns both rows. The planner's never-worse property guarantees the
+// second row's cost is bounded by the first.
+func HierPlanTable(cfg Config, name string, K int, machine string) ([]HierAssignment, error) {
+	inst, err := Prepare(cfg, name, K)
+	if err != nil {
+		return nil, err
+	}
+	m, err := MachineFor(machine, K)
+	if err != nil {
+		return nil, err
+	}
+	base, err := vpt.NewBalanced(K, 2)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := mapping.AssessDims(m, inst.Sends, base, nil)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := mapping.PlanDims(m, inst.Sends, base, mapping.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return []HierAssignment{
+		{Label: "base", Dims: baseline.Dims, Split: baseline.Split, CrossWords: baseline.CrossWords, CostSec: baseline.Cost},
+		{Label: "planned", Dims: plan.Dims, Split: plan.Split, CrossWords: plan.CrossWords, CostSec: plan.Cost},
+	}, nil
+}
+
+// RenderHierPlanTable writes the assignment table with a closing modeled-
+// speedup line.
+func RenderHierPlanTable(w io.Writer, name string, K int, machine string, rows []HierAssignment) {
+	fmt.Fprintf(w, "hierarchical dimension assignment: %s, K=%d, machine %s\n", name, K, machine)
+	fmt.Fprintf(w, "%-8s %-12s %5s %12s %10s\n", "plan", "dims", "split", "cross_words", "cost_us")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-12s %5d %12d %10.1f\n",
+			r.Label, fmt.Sprint(r.Dims), r.Split, r.CrossWords, netsim.Microseconds(r.CostSec))
+	}
+	if len(rows) == 2 && rows[1].CostSec > 0 {
+		fmt.Fprintf(w, "modeled speedup (planned over base): %.2fx\n", rows[0].CostSec/rows[1].CostSec)
+	}
+}

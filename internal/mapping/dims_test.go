@@ -1,0 +1,190 @@
+package mapping
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"stfw/internal/core"
+	"stfw/internal/netsim"
+	"stfw/internal/vpt"
+)
+
+// irregularSendSets builds a seeded random sparse pattern: each rank sends
+// to a handful of random peers with skewed volumes, the irregular shape the
+// planner has to cope with.
+func irregularSendSets(K int, seed int64) *core.SendSets {
+	rng := rand.New(rand.NewSource(seed))
+	s := core.NewSendSets(K)
+	for src := 0; src < K; src++ {
+		for i := 0; i < 6; i++ {
+			dst := rng.Intn(K)
+			if dst == src {
+				continue
+			}
+			s.Add(src, dst, int64(1+rng.Intn(64)))
+		}
+	}
+	if err := s.Normalize(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TestPlanDimsNeverWorseThanBase is the planner's core property: whatever
+// the traffic, the chosen assignment's modeled cost is bounded by the base
+// topology under the default (identity) placement, because that candidate
+// is always in the pool and improvements must be strict.
+func TestPlanDimsNeverWorseThanBase(t *testing.T) {
+	const K = 64
+	m, err := netsim.CrayXK7(K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := vpt.MustNew(8, 8)
+	for seed := int64(1); seed <= 5; seed++ {
+		s := irregularSendSets(K, seed)
+		plan, err := PlanDims(m, s, base, Options{Sweeps: 4, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, baseCost, err := DimCost(m, s, base, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Cost > baseCost {
+			t.Errorf("seed %d: plan cost %g worse than base %g (dims %v)", seed, plan.Cost, baseCost, plan.Dims)
+		}
+		if err := Validate(plan.Placement, K); err != nil {
+			t.Errorf("seed %d: bad placement: %v", seed, err)
+		}
+		topo, err := plan.Topology()
+		if err != nil {
+			t.Fatalf("seed %d: bad dims %v: %v", seed, plan.Dims, err)
+		}
+		if topo.Size() != K {
+			t.Errorf("seed %d: dims %v do not factor %d", seed, plan.Dims, K)
+		}
+		if plan.Split < 0 || plan.Split > len(plan.Dims) {
+			t.Errorf("seed %d: split %d outside [0,%d]", seed, plan.Split, len(plan.Dims))
+		}
+	}
+}
+
+// TestPlanDimsDeterministic: fixed options, fixed traffic, identical plans.
+func TestPlanDimsDeterministic(t *testing.T) {
+	const K = 64
+	m, err := netsim.CrayXC40(K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := vpt.MustNew(4, 4, 4)
+	s := irregularSendSets(K, 11)
+	p1, err := PlanDims(m, s, base, Options{Sweeps: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := PlanDims(m, s, base, Options{Sweeps: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("nondeterministic plans:\n%+v\n%+v", p1, p2)
+	}
+}
+
+// TestPlanDimsSplitConsistent re-derives the split from the winner by
+// independent replay: every dimension before the split moves zero words
+// across node boundaries, and the first dimension after it (if any) does
+// not.
+func TestPlanDimsSplitConsistent(t *testing.T) {
+	const K = 64
+	m, err := netsim.CrayXC40(K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := vpt.MustNew(8, 8)
+	s := irregularSendSets(K, 3)
+	plan, err := PlanDims(m, s, base, Options{Sweeps: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := plan.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.BuildPlan(topo, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed, err := m.WithPlacement(plan.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDim := make([]int64, topo.N())
+	var total int64
+	for d, stage := range p.Stages {
+		for _, f := range stage {
+			if placed.Node(f.From) != placed.Node(f.To) {
+				perDim[d] += f.Words
+			}
+		}
+		total += perDim[d]
+	}
+	if total != plan.CrossWords {
+		t.Errorf("reported %d cross words, replay says %d", plan.CrossWords, total)
+	}
+	for d := 0; d < plan.Split; d++ {
+		if perDim[d] != 0 {
+			t.Errorf("dimension %d inside the intra-node prefix moves %d cross-node words", d, perDim[d])
+		}
+	}
+	if plan.Split < topo.N() && perDim[plan.Split] == 0 {
+		t.Errorf("split %d not maximal: dimension %d also moves no cross-node words", plan.Split, plan.Split)
+	}
+}
+
+// TestPlanDimsClusteredTraffic: when every pair lives on one node and
+// crossing a node boundary is catastrophically expensive, the planner must
+// find an assignment that keeps all traffic intra-node, and the split must
+// cover every dimension.
+func TestPlanDimsClusteredTraffic(t *testing.T) {
+	const K = 64
+	topo, err := netsim.FitTorus(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &netsim.Machine{
+		Name:         "gamma-bound test machine",
+		Topo:         topo,
+		RanksPerNode: 8,
+		Alpha:        1e-9,
+		BetaWord:     1e-9,
+		GammaHop:     1e-3,
+	}
+	rng := rand.New(rand.NewSource(5))
+	s := core.NewSendSets(K)
+	for src := 0; src < K; src++ {
+		block := src / 8 * 8
+		for i := 0; i < 4; i++ {
+			dst := block + rng.Intn(8)
+			if dst != src {
+				s.Add(src, dst, int64(1+rng.Intn(32)))
+			}
+		}
+	}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanDims(m, s, vpt.MustNew(4, 4, 4), Options{Sweeps: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.CrossWords != 0 {
+		t.Errorf("clustered traffic still crosses nodes: %d words (dims %v, placement %v)",
+			plan.CrossWords, plan.Dims, plan.Placement)
+	}
+	if plan.Split != len(plan.Dims) {
+		t.Errorf("split %d does not cover all %d dimensions of a cross-free plan", plan.Split, len(plan.Dims))
+	}
+}

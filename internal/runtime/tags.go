@@ -1,0 +1,36 @@
+package runtime
+
+// Control-tag reservations: some transports piggyback their own control
+// traffic on the same tagged-frame plane the application uses (udpnet's
+// barrier runs over two reserved tags). That is invisible while a Comm is
+// the whole world, but a composite transport that multiplexes several
+// sub-transports must know which tag ranges each sub-transport claims for
+// itself: a control tag that aliases an application stage tag on another
+// sub-transport would cross-match frames. TagReserver makes the claim
+// explicit so a mux can verify disjointness at construction time instead
+// of discovering the collision as a hung receive.
+
+// TagReserver is an optional Comm extension declaring the half-open tag
+// range [lo, hi) the transport reserves for internal control traffic.
+// Applications (and wrappers) must not send or receive frames with tags in
+// the reserved range. Transports with no control tags simply do not
+// implement the interface.
+type TagReserver interface {
+	// ReservedTags returns the half-open [lo, hi) tag range the transport
+	// claims. lo >= hi means no reservation.
+	ReservedTags() (lo, hi int)
+}
+
+// ReservedTagsOf returns c's reserved control-tag range and whether the
+// transport declares one.
+func ReservedTagsOf(c Comm) (lo, hi int, ok bool) {
+	r, isRes := c.(TagReserver)
+	if !isRes {
+		return 0, 0, false
+	}
+	lo, hi = r.ReservedTags()
+	if lo >= hi {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}

@@ -34,6 +34,11 @@ type PeerTraffic struct {
 type StageTraffic struct {
 	// Tag is the transport tag all of the stage's frames carry.
 	Tag int
+	// Dim is the virtual-topology dimension the stage traverses, as recorded
+	// in the schedule IR. Composite transports use it to attribute a stage to
+	// the sub-transport that owns the dimension; like everything else in a
+	// hint it is advisory and may not be relied on for correctness.
+	Dim int
 	// Sends lists expected outbound traffic per destination peer.
 	Sends []PeerTraffic
 	// Recvs lists expected inbound traffic per source peer.

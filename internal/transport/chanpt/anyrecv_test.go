@@ -18,11 +18,12 @@ func TestTransportConformance(t *testing.T) {
 		if err != nil {
 			return nil, nil, err
 		}
-		return w.Comms(), nil, nil
+		return w.Comms(), w.Close, nil
 	}, tptest.Options{
 		WantSendRetains:    true,
 		StrictArrivalOrder: true,
 		TestOutOfRange:     true,
+		TestClose:          true,
 	})
 }
 

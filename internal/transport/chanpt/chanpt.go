@@ -33,6 +33,7 @@ type inbox struct {
 	frames  []frame
 	queued  []int // queued[from] = frames currently buffered from that rank
 	waiters int   // goroutines blocked in cond.Wait; skip Broadcast when 0
+	closed  bool  // world torn down; blocked operations fail instead of waiting
 }
 
 // wait blocks on the matcher's condition, tracking the waiter count so
@@ -94,6 +95,22 @@ func NewWorld(size, buffer int) (*World, error) {
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
+// Close tears the world down: every operation that would block — a receive
+// with no matching frame, a send against a full matcher — fails from now
+// on, and currently blocked ones are woken with an error. Frames already
+// queued stay receivable, so a closing world can still be drained. Close
+// exists for composite transports (internal/transport/hier) whose helper
+// goroutines may be parked in a receive when the world is torn down; a
+// plain single-world run never needs it.
+func (w *World) Close() {
+	for _, ib := range w.inboxes {
+		ib.mu.Lock()
+		ib.closed = true
+		ib.cond.Broadcast()
+		ib.mu.Unlock()
+	}
+}
+
 // Comms returns one communicator per rank, index = rank.
 func (w *World) Comms() []runtime.Comm {
 	cs := make([]runtime.Comm, w.size)
@@ -126,7 +143,13 @@ func (c *comm) Send(to, tag int, payload []byte) error {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
 	for ib.queued[c.rank] >= c.world.buffer {
+		if ib.closed {
+			return fmt.Errorf("chanpt: send to rank %d on closed world", to)
+		}
 		ib.wait()
+	}
+	if ib.closed {
+		return fmt.Errorf("chanpt: send to rank %d on closed world", to)
 	}
 	ib.frames = append(ib.frames, frame{from: c.rank, tag: tag, payload: payload})
 	ib.queued[c.rank]++
@@ -153,6 +176,9 @@ func (c *comm) Recv(from, tag int) ([]byte, error) {
 				return nil, fmt.Errorf("chanpt: rank %d received tag %d from %d, expected %d", c.rank, got, from, tag)
 			}
 			return ib.pop(i), nil
+		}
+		if ib.closed {
+			return nil, fmt.Errorf("chanpt: rank %d recv from %d on closed world", c.rank, from)
 		}
 		ib.wait()
 	}
@@ -185,6 +211,9 @@ func (c *comm) RecvAnyOf(tag int, from []int) (int, []byte, error) {
 					return sender, ib.pop(i), nil
 				}
 			}
+		}
+		if ib.closed {
+			return -1, nil, fmt.Errorf("chanpt: rank %d RecvAnyOf on closed world", c.rank)
 		}
 		ib.wait()
 	}

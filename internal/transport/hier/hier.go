@@ -1,0 +1,266 @@
+// Package hier implements a hierarchical composite transport: one
+// runtime.Comm multiplexer over two sub-transports, an "inner" one carrying
+// intra-node traffic (typically chanpt's in-process matcher) and an "outer"
+// one carrying inter-node traffic (typically udpnet or tcpnet). The paper's
+// virtual process topology makes the split natural: stage d of the
+// store-and-forward exchange only talks to dimension-d neighbors, so when
+// the rank→node placement aligns the node boundary with a digit split of
+// the VPT (see Plan), every inner-dimension stage runs entirely over shared
+// memory and only the outer dimensions touch the wire.
+//
+// Routing is by endpoint pair, not by tag arithmetic: a frame between ranks
+// a and b travels on the inner sub-transport exactly when NodeOf(a) ==
+// NodeOf(b). The rule is total (stage tags, census tags, the direct tag and
+// any future traffic all route the same way) and it preserves the Comm
+// contract's per-(sender, receiver, tag) FIFO, because a fixed pair always
+// uses exactly one sub-transport. The stage→dimension metadata surfaced by
+// the schedule IR (core.ScheduleStage.Dim, runtime.StageTraffic.Dim) is
+// what ties stages to sub-transports: the planner picks the factorization
+// and placement so each dimension's pairs fall wholly on one side, and the
+// traffic-hint fan-out forwards each stage's entries to the sub-transport
+// that owns them, so a schedule-aware sub-transport (udpnet) sees exactly
+// the frames it will carry — never the frames the other side carries.
+//
+// The optional runtime extensions compose across the mux:
+//
+//   - AnyReceiver: RecvAnyOf arbitrates across sub-transports when the
+//     candidate senders span both — a puller goroutine per sub-transport
+//     feeds a small arrival stash, and the caller takes the earliest
+//     arrival (see recv.go). Candidates confined to one sub-transport
+//     delegate directly, preserving the sub-matcher's native arrival order
+//     at zero overhead (the planner-aligned steady state).
+//   - SendRetainer: the mux retains payloads when either sub-transport
+//     does, the conservative answer engines need for buffer reuse.
+//   - TrafficHinter: hints fan out per sub-transport, filtered by the same
+//     pair rule the data plane routes by.
+//   - LinkStatsSource: per-link wire snapshots merge across sub-transports
+//     (runtime.LinkStats.Add), so telemetry attribution survives the mux.
+//
+// Construction checks tag-space safety: a sub-transport that reserves
+// control tags (runtime.TagReserver — udpnet's wire barrier) must reserve
+// them outside the application tag span, otherwise an application frame
+// routed over that sub-transport could alias a control frame.
+package hier
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"stfw/internal/runtime"
+)
+
+// DefaultAppTagCeiling bounds the application tag span assumed when the
+// Config does not declare one: every exchange-path tag (stage, census,
+// direct — see core.AppTagSpan) lies far below it, and reserved transport
+// control tags (udpnet's) lie far above.
+const DefaultAppTagCeiling = 1 << 20
+
+// Config assembles a composite world from two fully-built sub-worlds.
+type Config struct {
+	// Inner carries intra-node pairs; one endpoint per rank, index = rank,
+	// spanning the full world size (the pair routing rule guarantees only
+	// same-node pairs ever use it).
+	Inner []runtime.Comm
+	// Outer carries inter-node pairs (and the world barrier); same shape.
+	Outer []runtime.Comm
+	// NodeOf maps a rank to its node; pairs with equal nodes route inner.
+	NodeOf func(rank int) int
+	// AppTagLo/AppTagHi declare the half-open tag span application traffic
+	// may use; both zero selects [0, DefaultAppTagCeiling). New fails if a
+	// sub-transport reserves control tags inside the span.
+	AppTagLo, AppTagHi int
+}
+
+// World is the composite world: one mux endpoint per rank.
+type World struct {
+	size  int
+	comms []runtime.Comm
+}
+
+// New validates the configuration and builds the mux endpoints. The
+// sub-worlds are not owned: closing them (and their sockets) stays the
+// caller's responsibility, in reverse construction order.
+func New(cfg Config) (*World, error) {
+	size := len(cfg.Inner)
+	if size == 0 {
+		return nil, fmt.Errorf("hier: empty inner world")
+	}
+	if len(cfg.Outer) != size {
+		return nil, fmt.Errorf("hier: inner world has %d ranks, outer has %d", size, len(cfg.Outer))
+	}
+	if cfg.NodeOf == nil {
+		return nil, fmt.Errorf("hier: NodeOf is required")
+	}
+	appLo, appHi := cfg.AppTagLo, cfg.AppTagHi
+	if appLo == 0 && appHi == 0 {
+		appLo, appHi = 0, DefaultAppTagCeiling
+	}
+	if appLo >= appHi {
+		return nil, fmt.Errorf("hier: empty application tag span [%#x,%#x)", appLo, appHi)
+	}
+	w := &World{size: size, comms: make([]runtime.Comm, size)}
+	for r := 0; r < size; r++ {
+		for _, s := range []struct {
+			side string
+			sub  runtime.Comm
+		}{{"inner", cfg.Inner[r]}, {"outer", cfg.Outer[r]}} {
+			side, sub := s.side, s.sub
+			if sub == nil {
+				return nil, fmt.Errorf("hier: rank %d has no %s endpoint", r, side)
+			}
+			if sub.Rank() != r || sub.Size() != size {
+				return nil, fmt.Errorf("hier: rank %d %s endpoint reports rank %d of %d, want %d of %d",
+					r, side, sub.Rank(), sub.Size(), r, size)
+			}
+			if lo, hi, ok := runtime.ReservedTagsOf(sub); ok && lo < appHi && appLo < hi {
+				return nil, fmt.Errorf("hier: rank %d %s sub-transport reserves control tags [%#x,%#x), inside the application span [%#x,%#x)",
+					r, side, lo, hi, appLo, appHi)
+			}
+		}
+		c := &comm{
+			rank:   r,
+			size:   size,
+			node:   cfg.NodeOf(r),
+			nodeOf: cfg.NodeOf,
+			inner:  cfg.Inner[r],
+			outer:  cfg.Outer[r],
+		}
+		c.retains = runtime.SendRetains(c.inner) || runtime.SendRetains(c.outer)
+		c.cond = sync.NewCond(&c.mu)
+		w.comms[r] = c
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comms returns one mux endpoint per rank, index = rank.
+func (w *World) Comms() []runtime.Comm { return w.comms }
+
+// Run executes fn on every rank of this world.
+func (w *World) Run(fn runtime.RankFunc) error { return runtime.Run(w.comms, fn) }
+
+// comm is one rank's mux endpoint.
+type comm struct {
+	rank, size int
+	node       int
+	nodeOf     func(int) int
+	inner      runtime.Comm
+	outer      runtime.Comm
+	retains    bool
+
+	// Cross-sub arbitration state (recv.go): arrived-but-unclaimed frames
+	// and the outstanding puller goroutines feeding them.
+	mu    sync.Mutex
+	cond  *sync.Cond
+	stash []arrival
+	pulls []*pull
+
+	// Hint fan-out cache: a repeated HintTraffic with the same backing
+	// slice re-forwards the same split slices, so sub-transports that dedup
+	// by pointer (udpnet) see a no-op too.
+	lastHintPtr *runtime.StageTraffic
+	lastHintLen int
+	hintInner   []runtime.StageTraffic
+	hintOuter   []runtime.StageTraffic
+}
+
+func (c *comm) Rank() int { return c.rank }
+func (c *comm) Size() int { return c.size }
+
+// sub returns the sub-transport that owns the pair (c.rank, peer).
+func (c *comm) sub(peer int) runtime.Comm {
+	if c.nodeOf(peer) == c.node {
+		return c.inner
+	}
+	return c.outer
+}
+
+// SendRetains reports whether a payload handed to Send may stay referenced:
+// true when either sub-transport retains (the route is per-destination, so
+// only the union answer is safe for a caller that reuses buffers).
+func (c *comm) SendRetains() bool { return c.retains }
+
+func (c *comm) Send(to, tag int, payload []byte) error {
+	if to < 0 || to >= c.size {
+		return fmt.Errorf("hier: send to rank %d out of range [0,%d)", to, c.size)
+	}
+	return c.sub(to).Send(to, tag, payload)
+}
+
+// Barrier delegates to the outer sub-transport, which spans all ranks (a
+// world barrier on either side is a world barrier; the outer one is chosen
+// so multi-process worlds synchronize over the wire).
+func (c *comm) Barrier() error { return c.outer.Barrier() }
+
+// HintTraffic implements runtime.TrafficHinter: each stage's per-peer
+// entries are filtered by the pair rule and forwarded to the sub-transport
+// that will actually carry them, preserving the stage's Tag and Dim. Under
+// a planner-aligned placement every stage lands wholly on the sub-transport
+// owning its dimension; a misaligned placement splits a stage's entries but
+// stays correct — each side still sees exactly the frames it will carry.
+func (c *comm) HintTraffic(stages []runtime.StageTraffic) {
+	if len(stages) == 0 {
+		return
+	}
+	if c.lastHintPtr != &stages[0] || c.lastHintLen != len(stages) {
+		c.hintInner = c.splitHint(stages, true)
+		c.hintOuter = c.splitHint(stages, false)
+		c.lastHintPtr, c.lastHintLen = &stages[0], len(stages)
+	}
+	runtime.HintTraffic(c.inner, c.hintInner)
+	runtime.HintTraffic(c.outer, c.hintOuter)
+}
+
+// splitHint projects a traffic summary onto one side of the mux, dropping
+// stages with no traffic there.
+func (c *comm) splitHint(stages []runtime.StageTraffic, wantInner bool) []runtime.StageTraffic {
+	var out []runtime.StageTraffic
+	for _, st := range stages {
+		f := runtime.StageTraffic{Tag: st.Tag, Dim: st.Dim}
+		for _, pt := range st.Sends {
+			if (c.nodeOf(pt.Peer) == c.node) == wantInner {
+				f.Sends = append(f.Sends, pt)
+			}
+		}
+		for _, pt := range st.Recvs {
+			if (c.nodeOf(pt.Peer) == c.node) == wantInner {
+				f.Recvs = append(f.Recvs, pt)
+			}
+		}
+		if len(f.Sends) > 0 || len(f.Recvs) > 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// LinkStats implements runtime.LinkStatsSource: the union of both
+// sub-transports' per-link snapshots, folded per peer so a link that saw
+// traffic on both sides (possible only under a placement change between
+// snapshots) still reports one row.
+func (c *comm) LinkStats() []runtime.LinkStats {
+	byPeer := make(map[int]runtime.LinkStats)
+	for _, side := range [2]runtime.Comm{c.inner, c.outer} {
+		for _, ls := range runtime.LinkStatsOf(side) {
+			got, ok := byPeer[ls.Peer]
+			if !ok {
+				byPeer[ls.Peer] = ls
+				continue
+			}
+			got.Add(ls)
+			byPeer[ls.Peer] = got
+		}
+	}
+	if len(byPeer) == 0 {
+		return nil
+	}
+	out := make([]runtime.LinkStats, 0, len(byPeer))
+	for _, ls := range byPeer {
+		out = append(out, ls)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}

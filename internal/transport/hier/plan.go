@@ -1,0 +1,25 @@
+package hier
+
+import (
+	"stfw/internal/core"
+	"stfw/internal/mapping"
+	"stfw/internal/netsim"
+	"stfw/internal/vpt"
+)
+
+// Plan runs the dimension-assignment planner (mapping.PlanDims) for a
+// hierarchical deployment on machine m and returns the chosen plan together
+// with the NodeOf function a Config needs: ranks are packed onto nodes
+// through the planned placement, so the composite transport's notion of
+// "same node" is exactly the one the model used to justify the split.
+func Plan(m *netsim.Machine, s *core.SendSets, base *vpt.Topology, opt mapping.Options) (*mapping.DimPlan, func(int) int, error) {
+	p, err := mapping.PlanDims(m, s, base, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	placed, err := m.WithPlacement(p.Placement)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, placed.Node, nil
+}

@@ -1,0 +1,54 @@
+package hier_test
+
+import (
+	"testing"
+
+	"stfw/internal/core"
+	"stfw/internal/mapping"
+	"stfw/internal/netsim"
+	"stfw/internal/transport/hier"
+	"stfw/internal/vpt"
+)
+
+// TestPlanNodeOfMatchesPlacement checks the wrapper's contract: the NodeOf
+// function Plan hands back agrees with the machine packed through the
+// planned placement, stays in range, and the planned dims factor K.
+func TestPlanNodeOfMatchesPlacement(t *testing.T) {
+	const K = 64
+	m, err := netsim.CrayXC40(K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewSendSets(K)
+	for src := 0; src < K; src++ {
+		s.Add(src, (src+1)%K, 100)
+		s.Add(src, (src+K/2)%K, 10)
+	}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	plan, nodeOf, err := hier.Plan(m, s, vpt.MustNew(8, 8), mapping.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := plan.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Size() != K {
+		t.Fatalf("planned dims %v do not factor %d", plan.Dims, K)
+	}
+	placed, err := m.WithPlacement(plan.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < K; r++ {
+		n := nodeOf(r)
+		if n != placed.Node(r) {
+			t.Fatalf("nodeOf(%d) = %d, placed machine says %d", r, n, placed.Node(r))
+		}
+		if n < 0 || n >= m.Topo.Nodes() {
+			t.Fatalf("nodeOf(%d) = %d outside [0,%d)", r, n, m.Topo.Nodes())
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package hier_test
+
+import (
+	"strings"
+	"testing"
+
+	"stfw/internal/core"
+	"stfw/internal/runtime"
+	"stfw/internal/transport/hier"
+	"stfw/internal/transport/udpnet"
+	"stfw/internal/vpt"
+)
+
+// reservingComm is a fake sub-transport claiming a control-tag range.
+type reservingComm struct {
+	rank, size int
+	lo, hi     int
+}
+
+func (c *reservingComm) Rank() int                     { return c.rank }
+func (c *reservingComm) Size() int                     { return c.size }
+func (c *reservingComm) Send(int, int, []byte) error   { return nil }
+func (c *reservingComm) Recv(int, int) ([]byte, error) { return nil, nil }
+func (c *reservingComm) Barrier() error                { return nil }
+func (c *reservingComm) ReservedTags() (lo, hi int)    { return c.lo, c.hi }
+
+func reservingWorld(size, lo, hi int) []runtime.Comm {
+	comms := make([]runtime.Comm, size)
+	for r := range comms {
+		comms[r] = &reservingComm{rank: r, size: size, lo: lo, hi: hi}
+	}
+	return comms
+}
+
+// TestTagCollisionRejected is the tag-space regression test: a
+// sub-transport whose reserved control tags alias the application tag span
+// (here, the exact span the exchange paths draw stage tags from) must be
+// rejected at construction, because an application frame routed over that
+// sub-transport would cross-match a control frame.
+func TestTagCollisionRejected(t *testing.T) {
+	const size = 4
+	appLo, appHi := core.AppTagSpan(vpt.MaxDim(size))
+	clean := reservingWorld(size, 1<<30, 1<<30+2)
+	colliding := reservingWorld(size, core.StageTag(0), core.StageTag(0)+1)
+
+	if _, err := hier.New(hier.Config{
+		Inner: clean, Outer: colliding, NodeOf: twoNodes(size),
+		AppTagLo: appLo, AppTagHi: appHi,
+	}); err == nil {
+		t.Fatal("sub-transport reserving a stage tag accepted")
+	} else if !strings.Contains(err.Error(), "reserves control tags") {
+		t.Fatalf("unexpected rejection: %v", err)
+	}
+
+	// The same collision must also be caught under the default span, so a
+	// caller that never names the core tag layout is still protected.
+	if _, err := hier.New(hier.Config{
+		Inner: colliding, Outer: clean, NodeOf: twoNodes(size),
+	}); err == nil {
+		t.Fatal("colliding reservation accepted under the default span")
+	}
+
+	// Disjoint reservations pass with the same checks enabled.
+	if _, err := hier.New(hier.Config{
+		Inner: clean, Outer: reservingWorld(size, 1<<31-256, 1<<31-254),
+		NodeOf: twoNodes(size), AppTagLo: appLo, AppTagHi: appHi,
+	}); err != nil {
+		t.Fatalf("disjoint reservation rejected: %v", err)
+	}
+}
+
+// TestUDPControlTagsOutsideAppSpan ties the layers together: udpnet's
+// declared control-tag reservation must lie outside both the core tag
+// layout's span and hier's default application ceiling — the property the
+// collision check enforces for arbitrary sub-transports.
+func TestUDPControlTagsOutsideAppSpan(t *testing.T) {
+	w, err := udpnet.NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	lo, hi, ok := runtime.ReservedTagsOf(w.Comms()[0])
+	if !ok {
+		t.Fatal("udpnet does not declare its control tags")
+	}
+	appLo, appHi := core.AppTagSpan(16)
+	if lo < appHi && appLo < hi {
+		t.Fatalf("udpnet control tags [%#x,%#x) alias the core tag span [%#x,%#x)", lo, hi, appLo, appHi)
+	}
+	if lo < hier.DefaultAppTagCeiling {
+		t.Fatalf("udpnet control tags [%#x,%#x) fall under the default application ceiling %#x",
+			lo, hi, hier.DefaultAppTagCeiling)
+	}
+	if appHi > hier.DefaultAppTagCeiling {
+		t.Fatalf("core tag span [%#x,%#x) exceeds the default application ceiling %#x",
+			appLo, appHi, hier.DefaultAppTagCeiling)
+	}
+}

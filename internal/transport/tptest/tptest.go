@@ -27,6 +27,43 @@ import (
 // one endpoint per rank; closeWorld may be nil for worlds without teardown.
 type Factory func(size int) (comms []runtime.Comm, closeWorld func(), err error)
 
+// Composite promotes a transport that wraps other transports' worlds into
+// a Factory the suite can run like any primitive transport: each sub-
+// factory builds one sub-world, wrap assembles the composite endpoints
+// from the sub-worlds' endpoint slices (in sub-factory order), and the
+// composite's teardown closes the sub-worlds in reverse construction
+// order. The leak checks then cover the whole stack — a composite that
+// parks goroutines inside a sub-transport past teardown fails the same
+// way a primitive transport would.
+func Composite(wrap func(subs ...[]runtime.Comm) ([]runtime.Comm, error), subs ...Factory) Factory {
+	return func(size int) ([]runtime.Comm, func(), error) {
+		var cleanups []func()
+		closeAll := func() {
+			for i := len(cleanups) - 1; i >= 0; i-- {
+				cleanups[i]()
+			}
+		}
+		worlds := make([][]runtime.Comm, len(subs))
+		for i, f := range subs {
+			comms, closeWorld, err := f(size)
+			if err != nil {
+				closeAll()
+				return nil, nil, err
+			}
+			if closeWorld != nil {
+				cleanups = append(cleanups, closeWorld)
+			}
+			worlds[i] = comms
+		}
+		comms, err := wrap(worlds...)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		return comms, closeAll, nil
+	}
+}
+
 // Options declares the properties the transport under test promises.
 type Options struct {
 	// WantSendRetains is the transport's expected SendRetains answer:

@@ -557,6 +557,12 @@ func (c *comm) Size() int { return c.w.size }
 // before Send returns, so the caller may reuse it.
 func (c *comm) SendRetains() bool { return false }
 
+// ReservedTags implements runtime.TagReserver: the wire barrier's control
+// frames (ctrlEnter, ctrlRelease) travel on the same tagged-frame plane as
+// application traffic, so the range is declared for composite transports
+// to check against their application tag span.
+func (c *comm) ReservedTags() (lo, hi int) { return ctrlEnter, ctrlRelease + 1 }
+
 func (c *comm) Send(to, tag int, payload []byte) error {
 	if to < 0 || to >= c.w.size {
 		return fmt.Errorf("udpnet: send to rank %d out of range [0,%d)", to, c.w.size)

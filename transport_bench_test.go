@@ -23,6 +23,7 @@ import (
 	"stfw/internal/core"
 	"stfw/internal/runtime"
 	"stfw/internal/transport/chanpt"
+	"stfw/internal/transport/hier"
 	"stfw/internal/transport/tcpnet"
 	"stfw/internal/transport/udpnet"
 	"stfw/internal/vpt"
@@ -80,6 +81,31 @@ func tptBenchWorld(tb testing.TB, transport string, K int) ([]runtime.Comm, func
 			tb.Fatal(err)
 		}
 		return w.Comms(), w.Close
+	case "hier":
+		// The hierarchical composite on a simulated two-node split: ranks
+		// [0,K/2) on node 0, the rest on node 1, intra-node pairs over
+		// chanpt, inter-node pairs over udpnet.
+		inner, err := chanpt.NewWorld(K, 4)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		outer, err := udpnet.NewWorld(K)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		half := K / 2
+		w, err := hier.New(hier.Config{
+			Inner:  inner.Comms(),
+			Outer:  outer.Comms(),
+			NodeOf: func(r int) int { return r / half },
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return w.Comms(), func() {
+			outer.Close()
+			inner.Close()
+		}
 	default:
 		tb.Fatalf("unknown transport %q", transport)
 		return nil, nil
@@ -95,10 +121,18 @@ func runTransportThroughput(b *testing.B, comms []runtime.Comm) float64 {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return runTransportThroughputOn(b, comms, tp)
+}
+
+// runTransportThroughputOn is runTransportThroughput over an explicit
+// topology (the hier gate replays the planner's node-aligned factorization
+// instead of the balanced default).
+func runTransportThroughputOn(b *testing.B, comms []runtime.Comm, tp *vpt.Topology) float64 {
+	b.Helper()
 	payloads := tptBenchPayloads(tptBenchK)
 	var framesPerOp atomic.Int64
 	b.ResetTimer()
-	err = runtime.Run(comms, func(c runtime.Comm) error {
+	err := runtime.Run(comms, func(c runtime.Comm) error {
 		p, _, err := core.NewPersistent(c, tp, payloads[c.Rank()])
 		if err != nil {
 			return err
@@ -125,7 +159,7 @@ func runTransportThroughput(b *testing.B, comms []runtime.Comm) float64 {
 }
 
 func BenchmarkTransportThroughput(b *testing.B) {
-	for _, transport := range []string{"chanpt", "tcpnet", "udpnet"} {
+	for _, transport := range []string{"chanpt", "tcpnet", "udpnet", "hier"} {
 		transport := transport
 		b.Run(transport, func(b *testing.B) {
 			comms, stop := tptBenchWorld(b, transport, tptBenchK)
