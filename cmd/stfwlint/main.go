@@ -1,13 +1,20 @@
 // Command stfwlint is the multichecker for the repo's invariant analyzers
-// (internal/analysis): framepool, nilrecv, atomicmix, lockedsend. It loads
-// the packages named by its arguments (go list patterns; default ./...),
-// runs every analyzer, prints surviving diagnostics in file:line:col form,
-// and exits 1 if there were any.
+// (internal/analysis): framepool, nilrecv, atomicmix, lockedsend, tagspan,
+// goroleak. It loads the packages named by its arguments (go list patterns;
+// default ./...), runs every analyzer, prints surviving diagnostics in
+// file:line:col form, and exits 1 if there were any.
+//
+// Test files are included by default — the invariants bind test harnesses
+// too — with each package analyzed exactly as `go test` compiles it
+// (in-package test files together with the production sources, external
+// _test packages on their own). -tests=false restricts the run to
+// production sources.
 //
 // Usage:
 //
 //	go run ./cmd/stfwlint ./...
 //	go run ./cmd/stfwlint -only framepool,lockedsend ./internal/core/...
+//	go run ./cmd/stfwlint -tests=false ./...
 //
 // Findings are suppressed per line with a //stfw:ignore <analyzer>
 // directive; see internal/analysis.
@@ -25,8 +32,9 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	tests := flag.Bool("tests", true, "include test files (each package analyzed as its test variant)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: stfwlint [-only a,b] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: stfwlint [-only a,b] [-tests=false] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -62,7 +70,7 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	pkgs, err := analysis.Load("", patterns...)
+	pkgs, err := analysis.LoadPackages(analysis.LoadConfig{Tests: *tests}, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stfwlint:", err)
 		os.Exit(2)

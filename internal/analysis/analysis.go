@@ -51,7 +51,18 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	pkg    *Package
 	report func(Diagnostic)
+}
+
+// Summaries returns the interprocedural function summaries for the package
+// under analysis, computing them on first use and sharing them across the
+// analyzers of the run (see summary.go).
+func (p *Pass) Summaries() *SummarySet {
+	if p.pkg.sums == nil {
+		p.pkg.sums = computeSummaries(p.pkg)
+	}
+	return p.pkg.sums
 }
 
 // Diagnostic is one finding, positioned and attributed to its analyzer.
@@ -84,5 +95,5 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // All returns every registered analyzer of the suite, in the order the
 // multichecker runs them.
 func All() []*Analyzer {
-	return []*Analyzer{Framepool, Nilrecv, Atomicmix, Lockedsend}
+	return []*Analyzer{Framepool, Nilrecv, Atomicmix, Lockedsend, Tagspan, Goroleak}
 }

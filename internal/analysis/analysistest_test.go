@@ -95,6 +95,9 @@ func TestFramepoolFixture(t *testing.T)  { runFixture(t, Framepool, "framepool")
 func TestNilrecvFixture(t *testing.T)    { runFixture(t, Nilrecv, "nilrecv") }
 func TestAtomicmixFixture(t *testing.T)  { runFixture(t, Atomicmix, "atomicmix") }
 func TestLockedsendFixture(t *testing.T) { runFixture(t, Lockedsend, "lockedsend") }
+func TestTagspanFixture(t *testing.T)    { runFixture(t, Tagspan, "tagspan") }
+func TestTagspanNoDecl(t *testing.T)     { runFixture(t, Tagspan, "tagspan_nodecl") }
+func TestGoroleakFixture(t *testing.T)   { runFixture(t, Goroleak, "goroleak") }
 
 // TestIgnoreDirective checks the suppression machinery itself: a synthetic
 // diagnostic on an annotated line is dropped, one analyzer name does not

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Package-level call graph. The summary engine (summary.go) needs every
+// function's callees resolved before the function itself is summarized, so
+// the graph is condensed into strongly connected components and emitted
+// bottom-up: by the time an SCC is processed, every function it calls
+// outside the component already has its final summary, and only the
+// component's internal recursion needs a fixpoint.
+
+// callGraph is the static same-package call graph of one loaded package:
+// nodes are the package's declared functions and methods (those with
+// bodies), edges point from caller to callee. Calls through function values
+// and into other packages are not edges — the former are unresolvable
+// statically, the latter are covered by export-data summaries
+// (crossSummary) and never recurse back into this package's fixpoint.
+type callGraph struct {
+	// funcs lists the nodes in declaration order (file order, then position),
+	// which keeps every downstream traversal deterministic.
+	funcs   []*types.Func
+	decls   map[*types.Func]*ast.FuncDecl
+	callees map[*types.Func][]*types.Func
+}
+
+// buildCallGraph collects the package's function declarations and the
+// same-package static calls inside them. Calls inside function literals and
+// go statements count as edges too: a summary describes what a function may
+// do, and code it defers or spawns is still code it owns for
+// ownership-effect purposes (blocking-effect propagation filters those
+// sites separately during summarization).
+func buildCallGraph(pkg *Package) *callGraph {
+	g := &callGraph{
+		decls:   make(map[*types.Func]*ast.FuncDecl),
+		callees: make(map[*types.Func][]*types.Func),
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.funcs = append(g.funcs, fn)
+			g.decls[fn] = fd
+		}
+	}
+	for _, fn := range g.funcs {
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(g.decls[fn].Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pkg.Info, call)
+			if callee == nil || seen[callee] {
+				return true
+			}
+			if _, declared := g.decls[callee]; declared {
+				seen[callee] = true
+				g.callees[fn] = append(g.callees[fn], callee)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// sccs condenses the graph with Tarjan's algorithm and returns the
+// components in bottom-up order: when a component is emitted, every edge
+// leaving it targets an already-emitted component, so callees are always
+// summarized before their callers.
+func (g *callGraph) sccs() [][]*types.Func {
+	type nodeState struct {
+		index, lowlink int
+		onStack        bool
+	}
+	states := make(map[*types.Func]*nodeState, len(g.funcs))
+	var stack []*types.Func
+	var out [][]*types.Func
+	next := 0
+
+	var strongconnect func(fn *types.Func)
+	strongconnect = func(fn *types.Func) {
+		st := &nodeState{index: next, lowlink: next, onStack: true}
+		states[fn] = st
+		next++
+		stack = append(stack, fn)
+		for _, callee := range g.callees[fn] {
+			cs, visited := states[callee]
+			if !visited {
+				strongconnect(callee)
+				if cl := states[callee].lowlink; cl < st.lowlink {
+					st.lowlink = cl
+				}
+			} else if cs.onStack && cs.index < st.lowlink {
+				st.lowlink = cs.index
+			}
+		}
+		if st.lowlink == st.index {
+			var comp []*types.Func
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				states[top].onStack = false
+				comp = append(comp, top)
+				if top == fn {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, fn := range g.funcs {
+		if _, visited := states[fn]; !visited {
+			strongconnect(fn)
+		}
+	}
+	return out
+}

@@ -18,10 +18,14 @@ import (
 // that drops the buffer's front — cap shrinks, so the buffer re-enters the
 // arena in a lower size class than it was allocated from.
 //
-// The ownership model the checker assumes: builtin reads (len, cap, copy),
-// msg codec calls, and calls to functions in the same package borrow the
-// buffer; calls into other packages and stores into non-local memory take
-// ownership. Deliberate exceptions are annotated //stfw:ignore framepool.
+// The ownership model is interprocedural within a package: every call to a
+// same-package function is classified by that function's computed summary
+// (summary.go) — the callee may release the buffer, hand it off, pass it
+// through to its result, or merely borrow it — and helpers that mint and
+// return pooled buffers are mint sites in their callers. Builtin reads
+// (len, cap, copy) and msg codec calls borrow; unknown cross-package calls
+// and stores into non-local memory take ownership. Deliberate exceptions
+// are annotated //stfw:ignore framepool.
 //
 // The same single-holder discipline governs udpnet's packet-buffer ring
 // (internal/transport/udpnet.PacketRing): buffers minted by Get must reach
@@ -57,14 +61,45 @@ func runFramepool(pass *Pass) error {
 			if !ok {
 				return true
 			}
-			if !isFrameSource(pass.TypesInfo, call) {
-				return true
+			if isFrameSource(pass.TypesInfo, call) {
+				checkFrameSource(pass, parents, call, 0)
+			} else if idx, ok := summaryMint(pass, call); ok {
+				// A same-package helper whose summary says it returns a
+				// freshly minted pooled buffer is a mint site too — the
+				// exact shape the PR-5 hardcoded source set missed.
+				checkFrameSource(pass, parents, call, idx)
 			}
-			checkFrameSource(pass, parents, call)
 			return true
 		})
 	}
 	return nil
+}
+
+// summaryMint reports whether the call returns an owned pooled buffer per
+// the callee's summary, and at which result index. Calls that receive a
+// mint among their own arguments are skipped: the inner mint site is
+// already tracked and climbs through the call (passthrough).
+func summaryMint(pass *Pass, call *ast.CallExpr) (int, bool) {
+	sum := pass.Summaries().Of(calleeFunc(pass.TypesInfo, call))
+	if sum == nil {
+		return 0, false
+	}
+	idx := -1
+	for i, o := range sum.ReturnsOwned {
+		if o {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, false
+	}
+	for _, arg := range call.Args {
+		if exprContainsMint(pass.pkg, pass.Summaries(), arg) {
+			return 0, false
+		}
+	}
+	return idx, true
 }
 
 // isFrameSource reports whether the call mints a pooled buffer: a msg
@@ -97,16 +132,20 @@ func isRingMethod(fn *types.Func, name string) bool {
 	return ok && named.Obj().Name() == "PacketRing"
 }
 
-// checkFrameSource follows one GetFrame* call to its binding and runs the
-// ownership analysis on the bound variable.
-func checkFrameSource(pass *Pass, parents map[ast.Node]ast.Node, src *ast.CallExpr) {
+// checkFrameSource follows one mint call (GetFrame*, ring Get, or a helper
+// whose summary returns an owned buffer at result ownedIdx) to its binding
+// and runs the ownership analysis on the bound variable.
+func checkFrameSource(pass *Pass, parents map[ast.Node]ast.Node, src *ast.CallExpr, ownedIdx int) {
 	info := pass.TypesInfo
 
 	// The idiomatic mint-and-encode composition passes the fresh buffer
-	// straight to msg.Encode and binds the (possibly grown) result:
+	// straight to a passthrough callee and binds the (possibly grown)
+	// result:
 	//     buf := msg.Encode(msg.GetFrameCap(n), &m)
-	// Track the outermost such expression; reslices of the fresh buffer
-	// (GetFrameCap(n)[:n]) are still the same buffer.
+	// The same holds for any call whose summary says the parameter flows to
+	// the result (append-shaped builders). Track the outermost such
+	// expression; reslices of the fresh buffer (GetFrameCap(n)[:n]) are
+	// still the same buffer.
 	expr := ast.Node(src)
 	for {
 		p := parents[expr]
@@ -118,53 +157,79 @@ func checkFrameSource(pass *Pass, parents map[ast.Node]ast.Node, src *ast.CallEx
 			expr = se
 			continue
 		}
-		if c, ok := p.(*ast.CallExpr); ok &&
-			len(c.Args) > 0 && ast.Unparen(c.Args[0]) == expr &&
-			(isPkgFunc(calleeFunc(info, c), "internal/msg", "Encode") ||
-				isAppendShaped(pass, c)) {
-			expr = c
-			continue
+		if c, ok := p.(*ast.CallExpr); ok {
+			if i := argIndex(c, expr); i >= 0 {
+				fn := calleeFunc(info, c)
+				if sum := pass.Summaries().Of(fn); sum != nil && sum.effectAt(i, fn) == EffPassthrough {
+					expr = c
+					ownedIdx = 0 // passthrough callees have one []byte result
+					continue
+				}
+			}
 		}
 		break
 	}
 
 	switch p := parents[expr].(type) {
 	case *ast.AssignStmt:
-		for i, rhs := range p.Rhs {
-			if ast.Unparen(rhs) != expr || i >= len(p.Lhs) {
-				continue
+		var target ast.Expr
+		if len(p.Rhs) == 1 && len(p.Lhs) > 1 && ast.Unparen(p.Rhs[0]) == expr {
+			// Tuple binding: buf, err := helper() — the owned result index
+			// picks the variable to track.
+			if ownedIdx < len(p.Lhs) {
+				target = p.Lhs[ownedIdx]
 			}
-			id, ok := p.Lhs[i].(*ast.Ident)
-			if !ok {
-				// Stored straight into a slice slot, field, or deref:
-				// ownership moves into the structure.
-				return
+		} else {
+			for i, rhs := range p.Rhs {
+				if ast.Unparen(rhs) == expr && i < len(p.Lhs) {
+					target = p.Lhs[i]
+					break
+				}
 			}
-			if id.Name == "_" {
-				pass.Reportf(src.Pos(), "pooled frame is dropped without PutFrame")
-				return
-			}
-			obj := info.Defs[id]
-			if obj == nil {
-				obj = info.Uses[id]
-			}
-			if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Parent() != pass.Pkg.Scope() {
-				analyzeFrameVar(pass, parents, v, p)
-				return
-			}
-			// Bound to a global or field: lifetime is managed elsewhere.
+		}
+		if target == nil {
 			return
 		}
+		id, ok := target.(*ast.Ident)
+		if !ok {
+			// Stored straight into a slice slot, field, or deref:
+			// ownership moves into the structure.
+			return
+		}
+		if id.Name == "_" {
+			pass.Reportf(src.Pos(), "pooled frame is dropped without PutFrame")
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Parent() != pass.Pkg.Scope() {
+			analyzeFrameVar(pass, parents, v, p)
+		}
+		// Bound to a global or field: lifetime is managed elsewhere.
+		return
 	case *ast.ValueSpec:
-		for i, val := range p.Values {
-			if ast.Unparen(val) != expr || i >= len(p.Names) {
-				continue
+		var name *ast.Ident
+		if len(p.Values) == 1 && len(p.Names) > 1 && ast.Unparen(p.Values[0]) == expr {
+			if ownedIdx < len(p.Names) {
+				name = p.Names[ownedIdx]
 			}
-			if v, ok := info.Defs[p.Names[i]].(*types.Var); ok && !v.IsField() {
-				analyzeFrameVar(pass, parents, v, declStmtFor(parents, p))
-				return
+		} else {
+			for i, val := range p.Values {
+				if ast.Unparen(val) == expr && i < len(p.Names) {
+					name = p.Names[i]
+					break
+				}
 			}
 		}
+		if name == nil {
+			return
+		}
+		if v, ok := info.Defs[name].(*types.Var); ok && !v.IsField() {
+			analyzeFrameVar(pass, parents, v, declStmtFor(parents, p))
+		}
+		return
 	case *ast.CallExpr:
 		// Passed straight to a releasing or owning call:
 		// c.Send(to, tag, msg.Encode(msg.GetFrameCap(n), &m)) — fine.
@@ -176,27 +241,6 @@ func checkFrameSource(pass *Pass, parents map[ast.Node]ast.Node, src *ast.CallEx
 	default:
 		pass.Reportf(src.Pos(), "pooled frame is never released (PutFrame it, Send it, or annotate //stfw:ignore framepool)")
 	}
-}
-
-// isAppendShaped reports whether the call is an intra-package append-style
-// builder — first parameter []byte, single []byte result — through which
-// the fresh buffer flows to the call's own result (udpnet's buildAck is
-// the canonical case). The mint tracking climbs through such calls the
-// same way it climbs through msg.Encode.
-func isAppendShaped(pass *Pass, call *ast.CallExpr) bool {
-	fn := calleeFunc(pass.TypesInfo, call)
-	if fn == nil || fn.Pkg() != pass.Pkg {
-		return false
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Params().Len() == 0 || sig.Results().Len() != 1 {
-		return false
-	}
-	isByteSlice := func(t types.Type) bool {
-		s, ok := t.(*types.Slice)
-		return ok && types.Identical(s.Elem(), types.Typ[types.Byte])
-	}
-	return isByteSlice(sig.Params().At(0).Type()) && isByteSlice(sig.Results().At(0).Type())
 }
 
 // declStmtFor finds the DeclStmt wrapping a ValueSpec, nil for file-level
@@ -390,15 +434,35 @@ func classifyCallUse(pass *Pass, parents map[ast.Node]ast.Node, call *ast.CallEx
 	if fn == nil {
 		return useEscape // call through a function value: assume it keeps it
 	}
-	if isPkgFunc(fn, "internal/msg", "Decode", "DecodeInto", "Float64View", "EncodedSize", "Encode") {
-		// Codec calls alias or read the buffer but ownership stays here;
-		// Encode's retracking is handled at the mint site.
+	if isPkgFunc(fn, "internal/msg", "Decode", "DecodeInto", "Float64View", "EncodedSize") {
+		// Codec reads alias the buffer but ownership stays here.
 		return useNeutral
 	}
-	if fn.Pkg() == pass.Pkg {
-		return useNeutral // intra-package helpers borrow by convention
+	if sum := pass.Summaries().Of(fn); sum != nil {
+		if idx := argIndex(call, arg); idx >= 0 {
+			switch sum.effectAt(idx, fn) {
+			case EffRelease:
+				return useRelease
+			case EffEscape:
+				return useEscape
+			case EffPassthrough:
+				// The buffer flows to the callee's result (msg.Encode,
+				// append-shaped builders): how the call's own value is
+				// used decides ownership, exactly like append above.
+				id := firstIdentIn(arg)
+				if id == nil {
+					return useEscape
+				}
+				return classifyFrom(pass, parents, call, info.Uses[id], id.Name)
+			default:
+				return useNeutral // summarized borrow: the buffer stays here
+			}
+		}
 	}
-	return useEscape // cross-package call: assume ownership transfer
+	if fn.Pkg() == pass.Pkg {
+		return useNeutral // bodyless same-package func: nothing to summarize
+	}
+	return useEscape // unknown cross-package call: assume ownership transfer
 }
 
 // firstIdentIn returns the first identifier inside the expression (the
@@ -482,15 +546,38 @@ func (fa *frameAnalysis) stmtUses(s ast.Stmt) bool {
 	return usesObject(fa.pass.TypesInfo, s, fa.obj)
 }
 
-// stmtIsPut reports whether the statement is exactly msg.PutFrame(v...) —
-// the unconditional-release shape whose later uses are use-after-free.
+// stmtIsPut reports whether the statement is an unconditional release of
+// the tracked buffer — msg.PutFrame(v...) itself, or a call to a
+// same-package helper whose summary releases the argument position the
+// buffer occupies. Later uses are use-after-free either way.
 func (fa *frameAnalysis) stmtIsPut(s ast.Stmt) bool {
 	es, ok := s.(*ast.ExprStmt)
 	if !ok {
 		return false
 	}
 	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
-	return ok && isPutFrame(fa.pass.TypesInfo, call) && fa.stmtUses(s)
+	if !ok || !fa.stmtUses(s) {
+		return false
+	}
+	if isPutFrame(fa.pass.TypesInfo, call) {
+		return true
+	}
+	fn := calleeFunc(fa.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() != fa.pass.Pkg {
+		return false
+	}
+	sum := fa.pass.Summaries().Of(fn)
+	if sum == nil {
+		return false
+	}
+	for i, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok &&
+			fa.pass.TypesInfo.Uses[id] == types.Object(fa.obj) &&
+			sum.effectAt(i, fn) == EffRelease {
+			return true
+		}
+	}
+	return false
 }
 
 // evalSeq abstractly executes a statement sequence. It returns whether the

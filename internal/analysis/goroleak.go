@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Goroleak enforces the transports' "no steady-state goroutines" rule at
+// lint time, complementing tptest's runtime leak polling: every `go`
+// statement in internal/transport/... and internal/runtime must have a
+// visible termination path. A spawned body terminates visibly when it is a
+// bounded one-shot (no infinite loop), or when each of its infinite loops
+// can leave — a return reached from a select/receive on a close-signal
+// channel, a break out, a goto, or a panic all count. What the analyzer
+// flags is the remainder: a goroutine that, per its own body and the
+// summaries of everything it calls (summary.go), can spin forever with no
+// exit — the exact shape that outlives Close and leaks.
+//
+// Cross-package and dynamically dispatched callees are assumed to
+// terminate: their lifetime contracts are their own packages' to check.
+// Deliberate steady-state goroutines carry a
+//
+//	//stfw:ignore goroleak -- <why the lifetime is bounded anyway>
+//
+// directive with a justification after the `--` separator.
+var Goroleak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every transport/runtime goroutine must have a visible termination path",
+	Run:  runGoroleak,
+}
+
+func runGoroleak(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.Contains(path, "internal/transport/") &&
+		!strings.HasSuffix(path, "internal/runtime") &&
+		!strings.Contains(path, "testdata/goroleak") { // fixture packages
+		return nil
+	}
+	sums := pass.Summaries()
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(gs.Call.Fun).(type) {
+			case *ast.FuncLit:
+				if divergesIn(pass.pkg, sums, fun.Body) {
+					pass.Reportf(gs.Pos(), "goroutine has no visible termination path: its loop can spin forever (add a close-signal select/return, or annotate //stfw:ignore goroleak -- <justification>)")
+				}
+			default:
+				fn := calleeFunc(pass.TypesInfo, gs.Call)
+				if sum := sums.Of(fn); sum != nil && sum.Diverges {
+					pass.Reportf(gs.Pos(), "goroutine running %s has no visible termination path: the callee can spin forever (add a close-signal select/return, or annotate //stfw:ignore goroleak -- <justification>)", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -7,17 +7,24 @@ import (
 )
 
 // ignorePrefix introduces a suppression directive. The directive names the
-// analyzers it silences:
+// analyzers it silences, optionally followed by a justification after a
+// `--` separator:
 //
-//	//stfw:ignore framepool          — one analyzer
-//	//stfw:ignore framepool nilrecv  — several
+//	//stfw:ignore framepool                      — one analyzer
+//	//stfw:ignore framepool nilrecv              — several
+//	//stfw:ignore goroleak -- drained by Close   — with justification
 //
-// A directive covers the findings of the named analyzers on its own line
-// and on the line immediately below — so it works both as a trailing
-// comment on the flagged line and as a standalone annotation above it.
-// Every directive must name at least one analyzer; a bare //stfw:ignore
-// silences nothing (blanket suppression would hide future analyzers'
-// findings too).
+// A directive covers the findings of the named analyzers on its own line,
+// on the line immediately below — so it works both as a trailing comment on
+// the flagged line and as a standalone annotation above it — and across the
+// whole source span of the expression or simple statement starting on the
+// covered line, so an annotation above a multi-line call or composite also
+// suppresses diagnostics anchored inside the expression's later lines.
+// Control statements (if/for/switch/select) and declarations do not extend
+// the span: a directive above an if statement must not silence its whole
+// body. Every directive must name at least one analyzer; a bare
+// //stfw:ignore silences nothing (blanket suppression would hide future
+// analyzers' findings too).
 const ignorePrefix = "//stfw:ignore"
 
 // ignoreIndex maps file name → line → the analyzer names ignored there.
@@ -26,28 +33,87 @@ type ignoreIndex map[string]map[int][]string
 // buildIgnoreIndex scans every comment of the files for ignore directives.
 func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
 	idx := make(ignoreIndex)
+	add := func(file string, line int, names []string) {
+		lines := idx[file]
+		if lines == nil {
+			lines = make(map[int][]string)
+			idx[file] = lines
+		}
+		lines[line] = append(lines[line], names...)
+	}
 	for _, f := range files {
+		// directives: line → analyzer names, for this file.
+		directives := make(map[int][]string)
+		var fileName string
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, ignorePrefix) {
 					continue
 				}
 				names := strings.Fields(c.Text[len(ignorePrefix):])
+				if i := indexOf(names, "--"); i >= 0 {
+					names = names[:i] // the rest is the justification
+				}
 				if len(names) == 0 {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				lines := idx[pos.Filename]
-				if lines == nil {
-					lines = make(map[int][]string)
-					idx[pos.Filename] = lines
-				}
-				lines[pos.Line] = append(lines[pos.Line], names...)
-				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+				fileName = pos.Filename
+				directives[pos.Line] = append(directives[pos.Line], names...)
+				add(pos.Filename, pos.Line, names)
+				add(pos.Filename, pos.Line+1, names)
 			}
 		}
+		if len(directives) == 0 {
+			continue
+		}
+		// Span extension: an expression or simple statement whose first line
+		// is covered by a directive extends the directive over its whole
+		// source span, so multi-line calls and composites are suppressed on
+		// every line.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || !spanExtendable(n) {
+				return true
+			}
+			start := fset.Position(n.Pos()).Line
+			end := fset.Position(n.End()).Line
+			if end <= start {
+				return true
+			}
+			names := append(append([]string(nil), directives[start]...), directives[start-1]...)
+			if len(names) == 0 {
+				return true
+			}
+			for line := start + 1; line <= end; line++ {
+				add(fileName, line, names)
+			}
+			return true
+		})
 	}
 	return idx
+}
+
+// spanExtendable reports whether a directive covering the node's first line
+// should cover its whole span: expressions and simple statements, yes;
+// control statements, blocks, and function declarations, no — their span
+// contains arbitrary code the directive's author never looked at.
+func spanExtendable(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.ExprStmt, *ast.AssignStmt, *ast.ReturnStmt, *ast.SendStmt,
+		*ast.GoStmt, *ast.DeferStmt, *ast.DeclStmt, *ast.ValueSpec,
+		*ast.CallExpr, *ast.CompositeLit:
+		return true
+	}
+	return false
+}
+
+func indexOf(ss []string, want string) int {
+	for i, s := range ss {
+		if s == want {
+			return i
+		}
+	}
+	return -1
 }
 
 // covers reports whether a directive at the diagnostic's line names the

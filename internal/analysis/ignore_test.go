@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// testDirective is assembled at runtime so repo-wide directive audits
+// (grep for the literal prefix) don't count this file's synthetic sources
+// as live waivers.
+var testDirective = "//stfw:" + "ignore"
+
+func buildIndexFromSource(t *testing.T, src string) ignoreIndex {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buildIgnoreIndex(fset, []*ast.File{f})
+}
+
+func at(line int) token.Position {
+	return token.Position{Filename: "fix.go", Line: line}
+}
+
+// TestIgnoreSpanMultiLineCall is the regression test for the span rule: a
+// directive above a call whose arguments continue on later lines must
+// suppress diagnostics anchored inside those later lines, not just on the
+// call's first line.
+func TestIgnoreSpanMultiLineCall(t *testing.T) {
+	src := strings.ReplaceAll(`package p
+
+func emit(vs ...int) {}
+
+func f(a, b, c int) {
+	@DIR@ framepool
+	emit(
+		a,
+		b,
+		c,
+	)
+}
+`, "@DIR@", testDirective)
+	idx := buildIndexFromSource(t, src)
+	// The call spans lines 7-11; the directive sits on line 6.
+	for line := 7; line <= 11; line++ {
+		if !idx.covers(at(line), "framepool") {
+			t.Errorf("line %d of the annotated multi-line call not covered", line)
+		}
+	}
+	if idx.covers(at(12), "framepool") {
+		t.Errorf("coverage leaked past the call's closing paren")
+	}
+	if idx.covers(at(8), "nilrecv") {
+		t.Errorf("directive for framepool also covered nilrecv")
+	}
+}
+
+// TestIgnoreSpanMultiLineAssign covers the other common anchor: a
+// multi-line composite literal bound by an assignment.
+func TestIgnoreSpanMultiLineAssign(t *testing.T) {
+	src := strings.ReplaceAll(`package p
+
+func g() {
+	@DIR@ lockedsend -- held across init only
+	cfg := []int{
+		1,
+		2,
+	}
+	_ = cfg
+}
+`, "@DIR@", testDirective)
+	idx := buildIndexFromSource(t, src)
+	for line := 5; line <= 8; line++ {
+		if !idx.covers(at(line), "lockedsend") {
+			t.Errorf("line %d of the annotated multi-line assignment not covered", line)
+		}
+	}
+	if idx.covers(at(9), "lockedsend") {
+		t.Errorf("coverage leaked past the assignment")
+	}
+}
+
+// TestIgnoreSpanStopsAtControlStatements: a directive above an if
+// statement must not silence the statement's whole body — only the usual
+// own-line/next-line window applies.
+func TestIgnoreSpanStopsAtControlStatements(t *testing.T) {
+	src := strings.ReplaceAll(`package p
+
+func h(cond bool) int {
+	@DIR@ framepool
+	if cond {
+		return 1
+	}
+	return 0
+}
+`, "@DIR@", testDirective)
+	idx := buildIndexFromSource(t, src)
+	if !idx.covers(at(5), "framepool") {
+		t.Errorf("line below the directive not covered")
+	}
+	if idx.covers(at(6), "framepool") {
+		t.Errorf("directive above an if statement silenced its body")
+	}
+}
+
+// TestIgnoreJustificationSeparator: names after the -- separator are
+// justification text, not analyzer names.
+func TestIgnoreJustificationSeparator(t *testing.T) {
+	src := strings.ReplaceAll(`package p
+
+func j() {
+	@DIR@ goroleak -- drained by Close on shutdown
+	_ = 0
+}
+`, "@DIR@", testDirective)
+	idx := buildIndexFromSource(t, src)
+	if !idx.covers(at(5), "goroleak") {
+		t.Errorf("directive with justification did not cover the next line")
+	}
+	for _, name := range []string{"--", "drained", "by", "Close"} {
+		if idx.covers(at(5), name) {
+			t.Errorf("justification word %q parsed as an analyzer name", name)
+		}
+	}
+}
+
+// TestIgnoreBareDirectiveSilencesNothing: blanket suppression is invalid.
+func TestIgnoreBareDirectiveSilencesNothing(t *testing.T) {
+	src := strings.ReplaceAll(`package p
+
+func k() {
+	@DIR@
+	_ = 0
+}
+`, "@DIR@", testDirective)
+	idx := buildIndexFromSource(t, src)
+	for _, a := range []string{"framepool", "nilrecv", "atomicmix", "lockedsend", "tagspan", "goroleak"} {
+		if idx.covers(at(5), a) {
+			t.Errorf("bare directive silenced %s", a)
+		}
+	}
+}

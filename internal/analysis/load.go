@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // Package is one loaded, type-checked target package plus the per-file
@@ -27,6 +28,7 @@ type Package struct {
 	Info  *types.Info
 
 	ignores ignoreIndex
+	sums    *SummarySet // lazily built per-package function summaries
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -38,6 +40,22 @@ type listedPackage struct {
 	Standard   bool
 	Export     string
 	DepOnly    bool
+	ForTest    string
+}
+
+// LoadConfig configures Load beyond the defaults.
+type LoadConfig struct {
+	// Dir is the directory the patterns are resolved in (the module root or
+	// any directory inside it); "" means the current directory.
+	Dir string
+	// Tests includes test files: each matched package is analyzed as its
+	// test variant (production + in-package _test.go files type-checked
+	// together, exactly as `go test` compiles them) and external _test
+	// packages become roots of their own. The lifetime and protocol
+	// invariants the suite enforces bind test harnesses too — a goroutine
+	// leaked by a test fixture or a frame dropped on a test error path is
+	// still a defect.
+	Tests bool
 }
 
 // Load resolves the patterns with the go command and returns the matched
@@ -49,18 +67,25 @@ type listedPackage struct {
 //
 // dir is the directory the patterns are resolved in (the module root or any
 // directory inside it); "" means the current directory. Test files are not
-// loaded: the invariants the suite enforces are production-path properties,
-// and keeping external-test packages out keeps the loader simple.
+// loaded by this entry point; use LoadPackages with Tests set.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	return LoadPackages(LoadConfig{Dir: dir}, patterns...)
+}
+
+// LoadPackages is Load with explicit configuration.
+func LoadPackages(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"."}
 	}
-	args := append([]string{
-		"list", "-export", "-deps",
-		"-json=Name,ImportPath,Dir,GoFiles,Standard,Export,DepOnly",
-	}, patterns...)
+	args := []string{"list", "-export", "-deps"}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args,
+		"-json=Name,ImportPath,Dir,GoFiles,Standard,Export,DepOnly,ForTest")
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
-	cmd.Dir = dir
+	cmd.Dir = cfg.Dir
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
@@ -70,6 +95,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 	var roots []listedPackage
 	exports := make(map[string]string)
+	hasTestVariant := make(map[string]bool) // plain import path -> a "[pkg.test]" variant was listed
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var lp listedPackage
@@ -81,21 +107,41 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if lp.Export != "" {
 			exports[lp.ImportPath] = lp.Export
 		}
-		if !lp.Standard && !lp.DepOnly && len(lp.GoFiles) > 0 {
-			roots = append(roots, lp)
+		if lp.Standard || lp.DepOnly || len(lp.GoFiles) == 0 {
+			continue
 		}
+		if strings.HasSuffix(lp.ImportPath, ".test") {
+			continue // the synthesized test-main package: generated, not ours
+		}
+		if lp.ForTest != "" && lp.ForTest == lp.ImportPath {
+			// "pkg [pkg.test]": the package recompiled with its in-package
+			// test files. Its GoFiles are a superset of the plain package's,
+			// so the plain root is dropped below.
+			hasTestVariant[lp.ForTest] = true
+		}
+		roots = append(roots, lp)
 	}
+
+	// Analyze each package once: when its test variant was listed, the plain
+	// root is a strict subset of the same files and would double-report.
+	if cfg.Tests {
+		kept := roots[:0]
+		for _, lp := range roots {
+			if lp.ForTest == "" && hasTestVariant[lp.ImportPath] {
+				continue
+			}
+			kept = append(kept, lp)
+		}
+		roots = kept
+	}
+	// Check under-test variants before their external _test packages, so an
+	// xtest package's import of the package under test resolves against the
+	// export data the variant was compiled into (see lookup below).
+	sort.SliceStable(roots, func(i, j int) bool {
+		return xtestRank(roots[i]) < xtestRank(roots[j])
+	})
 
 	fset := token.NewFileSet()
-	lookup := func(path string) (io.ReadCloser, error) {
-		f, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("analysis: no export data for %q", path)
-		}
-		return os.Open(f)
-	}
-	imp := importer.ForCompiler(fset, "gc", lookup)
-
 	var pkgs []*Package
 	for _, lp := range roots {
 		var files []*ast.File
@@ -115,13 +161,37 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			Scopes:     make(map[ast.Node]*types.Scope),
 			Instances:  make(map[*ast.Ident]types.Instance),
 		}
-		conf := types.Config{Importer: imp}
-		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		// Every package gets its own importer instance so the import graph
+		// each type-check sees is internally consistent: an external _test
+		// package must resolve the package under test to its test-variant
+		// export data (the compilation `go test` links against, which may
+		// export extra test helpers), while every other consumer sees the
+		// plain package. Sharing one cache across both mappings would hand
+		// out clashing identities for the same import path.
+		forTest := ""
+		if lp.ForTest != "" && lp.ForTest != lp.ImportPath {
+			forTest = lp.ForTest // xtest: "pkg_test [pkg.test]"
+		}
+		lookup := func(path string) (io.ReadCloser, error) {
+			if path == forTest {
+				if f, ok := exports[path+" ["+path+".test]"]; ok {
+					return os.Open(f)
+				}
+			}
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("analysis: no export data for %q", path)
+			}
+			return os.Open(f)
+		}
+		conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+		path := plainImportPath(lp.ImportPath)
+		tpkg, err := conf.Check(path, fset, files, info)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: type-checking %s: %v", lp.ImportPath, err)
 		}
 		pkgs = append(pkgs, &Package{
-			Path:    lp.ImportPath,
+			Path:    path,
 			Name:    lp.Name,
 			Fset:    fset,
 			Files:   files,
@@ -131,6 +201,26 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		})
 	}
 	return pkgs, nil
+}
+
+// xtestRank orders roots so under-test variants precede external _test
+// packages (plain packages sort with the variants; their order among
+// themselves is preserved).
+func xtestRank(lp listedPackage) int {
+	if lp.ForTest != "" && lp.ForTest != lp.ImportPath {
+		return 1
+	}
+	return 0
+}
+
+// plainImportPath strips go list's test-variant suffix:
+// "pkg [pkg.test]" -> "pkg". Diagnostics and -only filters use the plain
+// path; which variant produced a finding is visible from the file name.
+func plainImportPath(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
 }
 
 // Run executes the analyzers over the loaded packages and returns the
@@ -146,6 +236,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				pkg:       pkg,
 			}
 			pass.report = func(d Diagnostic) {
 				if pkg.ignores.covers(d.Pos, a.Name) {

@@ -10,10 +10,13 @@ import (
 // methods (Send, Recv, RecvAnyOf, Barrier). The stage engine's liveness
 // argument assumes ranks always drain their inboxes; a rank that blocks in
 // a transport call while holding a lock that the drain path needs is a
-// distributed deadlock waiting for the right message order. The analysis is
-// intraprocedural and tracks sync.Mutex/RWMutex Lock/RLock pairs by
-// receiver expression; a deferred Unlock leaves the lock held for the rest
-// of the function, which is exactly the window the checker guards.
+// distributed deadlock waiting for the right message order. Lock tracking
+// is intraprocedural — sync.Mutex/RWMutex Lock/RLock pairs by receiver
+// expression, with a deferred Unlock leaving the lock held for the rest of
+// the function, which is exactly the window the checker guards — but the
+// blocking side is interprocedural: a call to a same-package helper whose
+// summary (summary.go) says it can reach a channel send or Comm call is
+// flagged too, however deep the send is.
 var Lockedsend = &Analyzer{
 	Name: "lockedsend",
 	Doc:  "no channel send or blocking Comm call while holding a mutex",
@@ -123,6 +126,13 @@ func scanBlocking(pass *Pass, n ast.Node, held map[string]bool) {
 		case *ast.CallExpr:
 			if name := blockingCommName(pass.TypesInfo, v); name != "" {
 				pass.Reportf(v.Pos(), "Comm.%s while holding %s: transport calls block on remote progress and must not run under a lock", name, lock)
+			} else if fn := calleeFunc(pass.TypesInfo, v); fn != nil && fn.Pkg() == pass.Pkg {
+				// Interprocedural: a helper whose summary says it can reach
+				// a channel send or Comm call blocks just the same, however
+				// many frames deep the send is.
+				if sum := pass.Summaries().Of(fn); sum != nil && sum.MayBlock {
+					pass.Reportf(v.Pos(), "call to %s, which may block on a channel send or Comm call, while holding %s", fn.Name(), lock)
+				}
 			}
 		}
 		return true
@@ -178,7 +188,12 @@ func anyHeld(held map[string]bool) string {
 // blockingCommName matches calls shaped like the runtime.Comm transport
 // methods and returns the method name, "" otherwise.
 func blockingCommName(info *types.Info, call *ast.CallExpr) string {
-	fn := calleeFunc(info, call)
+	return blockingCommFunc(calleeFunc(info, call))
+}
+
+// blockingCommFunc matches a function shaped like a runtime.Comm transport
+// method and returns the method name, "" otherwise.
+func blockingCommFunc(fn *types.Func) string {
 	if fn == nil {
 		return ""
 	}

@@ -3,22 +3,28 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // Nilrecv enforces the telemetry package's nil-off contract: a nil
 // *Registry (and everything hanging off it) is the documented way to
-// disable instrumentation, so every exported pointer-receiver method in the
-// telemetry package must begin with a guard of the form
+// disable instrumentation, so every exported pointer-receiver method on an
+// exported type in the telemetry package must be provably nil-safe. The
+// canonical shape is a leading guard,
 //
 //	if r == nil { ... return ... }
 //
-// (possibly with further || conditions). Methods that are nil-safe by
-// construction — e.g. they only pass the receiver on to nil-tolerant
-// callees — carry a //stfw:ignore nilrecv annotation instead, which keeps
-// the exception visible at the definition.
+// (possibly with further || conditions), but the analysis is
+// interprocedural and flow-aware: a method also passes when every use of
+// its receiver is dominated by a nil check, compares the receiver against
+// nil, returns it, or delegates to a same-package method or function that
+// is itself nil-safe for that value — derived as a fixpoint over the
+// package, so safety established by one method (or by a guarded helper
+// function) carries to its callers. Methods that are nil-safe for reasons
+// the derivation cannot see carry a //stfw:ignore nilrecv annotation.
 var Nilrecv = &Analyzer{
 	Name: "nilrecv",
-	Doc:  "exported telemetry methods must start with a nil-receiver guard",
+	Doc:  "exported telemetry methods must be provably nil-receiver-safe",
 	Run:  runNilrecv,
 }
 
@@ -26,6 +32,8 @@ func runNilrecv(pass *Pass) error {
 	if pass.Pkg.Name() != "telemetry" {
 		return nil
 	}
+	d := newNilDeriver(pass)
+	d.solve()
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -39,15 +47,311 @@ func runNilrecv(pass *Pass) error {
 			}
 			recvName := receiverName(fd)
 			if recvName == "" || recvName == "_" {
-				pass.Reportf(fd.Pos(), "exported method %s has an unnamed receiver and so cannot guard against a nil receiver", fd.Name.Name)
+				// An unnamed receiver cannot be dereferenced, so the method
+				// is trivially nil-safe.
 				continue
 			}
-			if !startsWithNilGuard(fd.Body, recvName) {
-				pass.Reportf(fd.Pos(), "exported method %s must begin with `if %s == nil` (nil telemetry handles disable instrumentation)", fd.Name.Name, recvName)
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || d.safeMethods[fn] {
+				continue
 			}
+			pass.Reportf(fd.Pos(), "exported method %s must be nil-receiver-safe: begin with `if %s == nil` or delegate only to nil-safe callees (nil telemetry handles disable instrumentation)", fd.Name.Name, recvName)
 		}
 	}
 	return nil
+}
+
+// nilDeriver computes, as a package-wide fixpoint, which pointer-receiver
+// methods tolerate a nil receiver and which function parameters tolerate a
+// nil argument. The derivation starts from nothing and only adds facts it
+// can prove, so a cyclic delegation stays unsafe (conservative).
+type nilDeriver struct {
+	pass        *Pass
+	parents     map[ast.Node]ast.Node
+	safeMethods map[*types.Func]bool
+	// safeParams[fn][i] means fn tolerates nil as its i-th argument.
+	safeParams map[*types.Func][]bool
+	methods    []*ast.FuncDecl // pointer-receiver methods with named receivers
+	functions  []*ast.FuncDecl // package-level functions with parameters
+}
+
+func newNilDeriver(pass *Pass) *nilDeriver {
+	d := &nilDeriver{
+		pass:        pass,
+		parents:     make(map[ast.Node]ast.Node),
+		safeMethods: make(map[*types.Func]bool),
+		safeParams:  make(map[*types.Func][]bool),
+	}
+	for _, file := range pass.Files {
+		for n, p := range buildParents(file) {
+			d.parents[n] = p
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv != nil {
+				if isPointerReceiver(fd) && receiverName(fd) != "" && receiverName(fd) != "_" {
+					d.methods = append(d.methods, fd)
+				}
+				continue
+			}
+			d.functions = append(d.functions, fd)
+		}
+	}
+	return d
+}
+
+// solve iterates the derivation to a fixpoint: each round re-examines every
+// method receiver and function parameter under the facts proved so far and
+// keeps going while new facts appear. Safety is monotone (facts are only
+// added), so the loop terminates.
+func (d *nilDeriver) solve() {
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range d.methods {
+			fn, ok := d.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || d.safeMethods[fn] {
+				continue
+			}
+			recv := d.pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+			if recv == nil {
+				continue
+			}
+			// A leading guard alone suffices — the method's contract is to
+			// bail out before touching anything, and the rest of the body
+			// runs with a non-nil receiver by construction.
+			if d.hasLeadingGuard(fd.Body, recv) || d.varNilSafe(fd.Body, recv) {
+				d.safeMethods[fn] = true
+				changed = true
+			}
+		}
+		for _, fd := range d.functions {
+			fn, ok := d.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			safe := d.safeParams[fn]
+			if safe == nil {
+				safe = make([]bool, sig.Params().Len())
+				d.safeParams[fn] = safe
+			}
+			for i := range safe {
+				if safe[i] {
+					continue
+				}
+				p := sig.Params().At(i)
+				if isNilable(p.Type()) && (d.hasLeadingGuard(fd.Body, p) || d.varNilSafe(fd.Body, p)) {
+					safe[i] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// isNilable reports whether nil is a value of the type (the only parameters
+// a nil-safety fact is meaningful for).
+func isNilable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Slice, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// varNilSafe reports whether every use of obj in the body is safe when obj
+// may be nil.
+func (d *nilDeriver) varNilSafe(body *ast.BlockStmt, obj types.Object) bool {
+	safe, _ := d.stmtsNilSafe(body.List, obj, false)
+	return safe
+}
+
+// stmtsNilSafe walks a statement sequence tracking whether obj is known
+// non-nil at each point. It returns whether all uses were safe and whether
+// obj is known non-nil after the sequence falls through.
+func (d *nilDeriver) stmtsNilSafe(stmts []ast.Stmt, obj types.Object, known bool) (allSafe, knownAfter bool) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.IfStmt:
+			if st.Init != nil && !d.usesSafe(st.Init, obj, known) {
+				return false, known
+			}
+			switch {
+			case st.Init == nil && d.condIsNilCheck(st.Cond, obj):
+				// if obj == nil { ... }: obj may be nil inside the body,
+				// and is non-nil afterwards when the body always leaves.
+				if ok, _ := d.stmtsNilSafe(st.Body.List, obj, false); !ok {
+					return false, known
+				}
+				if st.Else != nil && !d.usesSafe(st.Else, obj, true) {
+					return false, known
+				}
+				if st.Else == nil && endsInReturn(st.Body) {
+					known = true
+				}
+			case st.Init == nil && d.condIsNonNilCheck(st.Cond, obj):
+				// if obj != nil { ... }: obj is non-nil inside the body.
+				if ok, _ := d.stmtsNilSafe(st.Body.List, obj, true); !ok {
+					return false, known
+				}
+				if st.Else != nil && !d.usesSafe(st.Else, obj, known) {
+					return false, known
+				}
+			default:
+				if !d.exprUsesSafe(st.Cond, obj, known) {
+					return false, known
+				}
+				if ok, _ := d.stmtsNilSafe(st.Body.List, obj, known); !ok {
+					return false, known
+				}
+				if st.Else != nil && !d.usesSafe(st.Else, obj, known) {
+					return false, known
+				}
+			}
+		case *ast.BlockStmt:
+			ok, k := d.stmtsNilSafe(st.List, obj, known)
+			if !ok {
+				return false, known
+			}
+			known = k
+		default:
+			if !d.usesSafe(s, obj, known) {
+				return false, known
+			}
+		}
+	}
+	return true, known
+}
+
+// hasLeadingGuard reports the canonical syntactic shape: the body's first
+// statement is `if obj == nil { ... }` (possibly || further conditions).
+func (d *nilDeriver) hasLeadingGuard(body *ast.BlockStmt, obj types.Object) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	return ok && ifs.Init == nil && d.condIsNilCheck(ifs.Cond, obj)
+}
+
+// endsInReturn reports whether the block's last statement is a return — the
+// shape `if r == nil { ...; return ... }` that establishes non-nilness for
+// the code after it.
+func endsInReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	_, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// condIsNilCheck matches `obj == nil`, possibly as the left disjunct of an
+// || chain (short-circuiting keeps later disjuncts guarded).
+func (d *nilDeriver) condIsNilCheck(cond ast.Expr, obj types.Object) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.LOR:
+		return d.condIsNilCheck(be.X, obj) ||
+			!usesObject(d.pass.TypesInfo, be.X, obj) && d.condIsNilCheck(be.Y, obj)
+	case token.EQL:
+		return d.isObjVsNil(be, obj)
+	}
+	return false
+}
+
+// condIsNonNilCheck matches `obj != nil`, possibly as the left conjunct of
+// an && chain.
+func (d *nilDeriver) condIsNonNilCheck(cond ast.Expr, obj types.Object) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.LAND:
+		return d.condIsNonNilCheck(be.X, obj)
+	case token.NEQ:
+		return d.isObjVsNil(be, obj)
+	}
+	return false
+}
+
+func (d *nilDeriver) isObjVsNil(be *ast.BinaryExpr, obj types.Object) bool {
+	isObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && d.pass.TypesInfo.Uses[id] == obj
+	}
+	return isObj(be.X) && isNilIdent(be.Y) || isObj(be.Y) && isNilIdent(be.X)
+}
+
+// usesSafe reports whether every use of obj under the node is safe given
+// the current knowledge. Function literals are re-analyzed from scratch
+// with known=false: they run later, when the captured handle may be nil
+// regardless of the guard in force at capture time.
+func (d *nilDeriver) usesSafe(n ast.Node, obj types.Object, known bool) bool {
+	safe := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if !safe {
+			return false
+		}
+		if fl, ok := c.(*ast.FuncLit); ok {
+			if ok2, _ := d.stmtsNilSafe(fl.Body.List, obj, false); !ok2 {
+				safe = false
+			}
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && d.pass.TypesInfo.Uses[id] == obj {
+			if !known && !d.useContextSafe(id, obj) {
+				safe = false
+			}
+		}
+		return safe
+	})
+	return safe
+}
+
+func (d *nilDeriver) exprUsesSafe(e ast.Expr, obj types.Object, known bool) bool {
+	return e == nil || d.usesSafe(&ast.ExprStmt{X: e}, obj, known)
+}
+
+// useContextSafe reports whether one occurrence of the possibly-nil obj is
+// safe from its immediate context: a nil comparison, a return (the nil
+// handle propagates to a caller bound by the same contract), a call to a
+// derived-nil-safe method on it, or an argument position a same-package
+// function is derived nil-safe for.
+func (d *nilDeriver) useContextSafe(id *ast.Ident, obj types.Object) bool {
+	info := d.pass.TypesInfo
+	switch p := d.parents[id].(type) {
+	case *ast.BinaryExpr:
+		if (p.Op == token.EQL || p.Op == token.NEQ) &&
+			(isNilIdent(p.X) || isNilIdent(p.Y)) {
+			return true
+		}
+	case *ast.ReturnStmt:
+		return true
+	case *ast.SelectorExpr:
+		if p.X != id {
+			return false
+		}
+		if m, ok := info.Uses[p.Sel].(*types.Func); ok {
+			return d.safeMethods[m]
+		}
+		return false // field access dereferences
+	case *ast.CallExpr:
+		fn := calleeFunc(info, p)
+		if fn == nil {
+			return false
+		}
+		if i := argIndex(p, id); i >= 0 {
+			safe := d.safeParams[fn]
+			return i < len(safe) && safe[i]
+		}
+	}
+	return false
 }
 
 func receiverName(fd *ast.FuncDecl) string {
@@ -76,40 +380,7 @@ func exportedReceiverType(fd *ast.FuncDecl) bool {
 	return ok && id.IsExported()
 }
 
-// startsWithNilGuard reports whether the body's first statement is an if
-// whose condition checks the receiver against nil — either exactly
-// `recv == nil` or an || chain containing that comparison.
-func startsWithNilGuard(body *ast.BlockStmt, recv string) bool {
-	if len(body.List) == 0 {
-		return false
-	}
-	ifs, ok := body.List[0].(*ast.IfStmt)
-	if !ok || ifs.Init != nil {
-		return false
-	}
-	return condChecksNil(ifs.Cond, recv)
-}
-
-func condChecksNil(cond ast.Expr, recv string) bool {
-	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
-	if !ok {
-		return false
-	}
-	switch be.Op {
-	case token.LOR:
-		return condChecksNil(be.X, recv) || condChecksNil(be.Y, recv)
-	case token.EQL:
-		return isIdentNamed(be.X, recv) && isNilIdent(be.Y) ||
-			isIdentNamed(be.Y, recv) && isNilIdent(be.X)
-	}
-	return false
-}
-
-func isIdentNamed(e ast.Expr, name string) bool {
-	id, ok := ast.Unparen(e).(*ast.Ident)
-	return ok && id.Name == name
-}
-
 func isNilIdent(e ast.Expr) bool {
-	return isIdentNamed(e, "nil")
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
 }

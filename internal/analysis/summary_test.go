@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+// loadSummaryFixture loads testdata/summary and computes its summaries.
+func loadSummaryFixture(t *testing.T) (*Package, *SummarySet) {
+	t.Helper()
+	pkgs, err := Load("", "stfw/internal/analysis/testdata/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	return pkgs[0], computeSummaries(pkgs[0])
+}
+
+// fnOf resolves a package-level function by name.
+func fnOf(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	obj := pkg.Types.Scope().Lookup(name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("no function %q in fixture (got %v)", name, obj)
+	}
+	return fn
+}
+
+func TestSummaryParamEffects(t *testing.T) {
+	pkg, set := loadSummaryFixture(t)
+	cases := []struct {
+		fn   string
+		idx  int
+		want ParamEffect
+	}{
+		{"release", 0, EffRelease},
+		{"releaseChain", 0, EffRelease},
+		{"stamp", 0, EffPassthrough},
+		{"stash", 1, EffEscape},
+		{"checksum", 0, EffBorrow},
+		{"recycleLast", 0, EffRelease}, // through self-recursion
+	}
+	for _, c := range cases {
+		sum := set.Of(fnOf(t, pkg, c.fn))
+		if sum == nil {
+			t.Errorf("%s: no summary", c.fn)
+			continue
+		}
+		if got := sum.Params[c.idx]; got != c.want {
+			t.Errorf("%s param %d: got %v, want %v", c.fn, c.idx, got, c.want)
+		}
+	}
+}
+
+func TestSummaryReturnsOwned(t *testing.T) {
+	pkg, set := loadSummaryFixture(t)
+	cases := []struct {
+		fn   string
+		want []bool
+	}{
+		{"mint", []bool{true}},
+		{"mintChain", []bool{true}}, // through the helper
+		{"mintPair", []bool{true, false}},
+		{"stamp", []bool{false}}, // passthrough, not a mint
+	}
+	for _, c := range cases {
+		sum := set.Of(fnOf(t, pkg, c.fn))
+		if sum == nil {
+			t.Errorf("%s: no summary", c.fn)
+			continue
+		}
+		if len(sum.ReturnsOwned) != len(c.want) {
+			t.Errorf("%s: %d results, want %d", c.fn, len(sum.ReturnsOwned), len(c.want))
+			continue
+		}
+		for i, w := range c.want {
+			if sum.ReturnsOwned[i] != w {
+				t.Errorf("%s result %d: owned=%v, want %v", c.fn, i, sum.ReturnsOwned[i], w)
+			}
+		}
+	}
+}
+
+func TestSummaryMayBlockAndDiverges(t *testing.T) {
+	pkg, set := loadSummaryFixture(t)
+	cases := []struct {
+		fn       string
+		mayBlock bool
+		diverges bool
+	}{
+		{"blockSend", true, false},
+		{"blockIndirect", true, false},
+		{"spawns", false, false}, // goroutine bodies don't block the caller
+		{"ping", true, false},    // mutual recursion, blocking base case
+		{"pong", true, false},
+		{"spin", false, true},
+		{"spinIndirect", false, true},
+		{"spinUntil", false, false},
+		{"checksum", false, false},
+	}
+	for _, c := range cases {
+		sum := set.Of(fnOf(t, pkg, c.fn))
+		if sum == nil {
+			t.Errorf("%s: no summary", c.fn)
+			continue
+		}
+		if sum.MayBlock != c.mayBlock || sum.Diverges != c.diverges {
+			t.Errorf("%s: MayBlock=%v Diverges=%v, want %v/%v",
+				c.fn, sum.MayBlock, sum.Diverges, c.mayBlock, c.diverges)
+		}
+	}
+}
+
+// TestSummarySCCOrder checks the bottom-up traversal: a callee's component
+// is summarized before its caller's, and mutual recursion shares one
+// component.
+func TestSummarySCCOrder(t *testing.T) {
+	pkg, set := loadSummaryFixture(t)
+	orderIdx := make(map[*types.Func]int, len(set.order))
+	for i, fn := range set.order {
+		orderIdx[fn] = i
+	}
+	calleeBeforeCaller := [][2]string{
+		{"mint", "mintChain"},
+		{"release", "releaseChain"},
+		{"blockSend", "blockIndirect"},
+		{"spin", "spinIndirect"},
+	}
+	for _, pair := range calleeBeforeCaller {
+		callee, caller := fnOf(t, pkg, pair[0]), fnOf(t, pkg, pair[1])
+		if orderIdx[callee] >= orderIdx[caller] {
+			t.Errorf("%s summarized at %d, after its caller %s at %d",
+				pair[0], orderIdx[callee], pair[1], orderIdx[caller])
+		}
+		if set.sccOf[callee] == set.sccOf[caller] {
+			t.Errorf("%s and %s share an SCC; they are not mutually recursive", pair[0], pair[1])
+		}
+	}
+	ping, pong := fnOf(t, pkg, "ping"), fnOf(t, pkg, "pong")
+	if set.sccOf[ping] != set.sccOf[pong] {
+		t.Errorf("mutually recursive ping/pong in distinct SCCs %d and %d",
+			set.sccOf[ping], set.sccOf[pong])
+	}
+	rec := fnOf(t, pkg, "recycleLast")
+	if _, ok := set.sccOf[rec]; !ok {
+		t.Errorf("recycleLast missing from the SCC index")
+	}
+}
+
+// TestCrossSummary checks the export-data fallback: functions outside the
+// summarized package resolve to the conservative shape table.
+func TestCrossSummary(t *testing.T) {
+	pkg, set := loadSummaryFixture(t)
+	msgPkg := func() *types.Package {
+		for _, imp := range pkg.Types.Imports() {
+			if imp.Path() == "stfw/internal/msg" {
+				return imp
+			}
+		}
+		t.Fatal("fixture does not import stfw/internal/msg")
+		return nil
+	}()
+	lookup := func(name string) *types.Func {
+		fn, ok := msgPkg.Scope().Lookup(name).(*types.Func)
+		if !ok {
+			t.Fatalf("msg.%s not found", name)
+		}
+		return fn
+	}
+
+	if sum := set.Of(lookup("PutFrame")); sum == nil || sum.effectAt(0, lookup("PutFrame")) != EffRelease {
+		t.Errorf("msg.PutFrame: want EffRelease on param 0, got %+v", sum)
+	}
+	if sum := set.Of(lookup("GetFrameLen")); sum == nil || len(sum.ReturnsOwned) == 0 || !sum.ReturnsOwned[0] {
+		t.Errorf("msg.GetFrameLen: want ReturnsOwned[0], got %+v", sum)
+	}
+	if sum := set.Of(lookup("Encode")); sum == nil || sum.effectAt(0, lookup("Encode")) != EffPassthrough {
+		t.Errorf("msg.Encode: want EffPassthrough on param 0, got %+v", sum)
+	}
+	// A function with no cross-summary entry yields nil: callers fall back
+	// to the conservative conventions.
+	if sum := set.Of(lookup("EncodedSize")); sum != nil {
+		t.Errorf("msg.EncodedSize: want nil (unknown cross-package), got %+v", sum)
+	}
+}

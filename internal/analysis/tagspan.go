@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"stfw/internal/core"
+)
+
+// Tagspan is the static complement of PR 9's construction-time
+// runtime.TagReserver check: every named control-tag constant a transport
+// sends or matches frames on must lie inside the half-open [lo, hi) span
+// the transport's own ReservedTags method declares, and outside the
+// application tag span (core.AppTagSpan: the direct-baseline, stage, and
+// census tags, bounded above by hier.DefaultAppTagCeiling's 1<<20 policy).
+// A control tag outside the declared span escapes the mux's disjointness
+// check and can alias another sub-transport's traffic; a control tag inside
+// the application span aliases a stage or census tag and cross-matches
+// application frames — the exact hung-receive the TagReserver seam exists
+// to prevent.
+//
+// The analyzer runs over the transport packages (internal/transport/...);
+// a constant counts as a control tag when it is used as the tag argument of
+// a Comm-shaped Send call, passed in a RecvAnyOf tag set, or compared
+// against a tag-named expression (`c.tag == ctrlEnter`). Constants declared
+// in test files are exempt — fixtures and tests exercise arbitrary tags —
+// but usages *in* test files of production constants are still checked.
+var Tagspan = &Analyzer{
+	Name: "tagspan",
+	Doc:  "transport control tags must lie inside the declared ReservedTags span and outside the application tag span",
+	Run:  runTagspan,
+}
+
+// appTagCeiling bounds the application tag span the analyzer assumes.
+// core.AppTagSpan's upper bound grows with the stage count; hier's
+// DefaultAppTagCeiling pins the policy ceiling (1<<20) that every
+// composite-transport collision check uses, and control tags must clear
+// it for any realizable world. Mirrored here as a constant so the
+// analysis package does not import the transport it lints.
+const appTagCeiling = 1 << 20
+
+func runTagspan(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.Contains(path, "internal/transport/") &&
+		!strings.Contains(path, "testdata/tagspan") { // fixture packages
+		return nil
+	}
+	// Consistency guard for the mirrored ceiling: if core's tag bases ever
+	// grow past it, fail the run loudly instead of silently under-checking.
+	if appLo, appHi := core.AppTagSpan(0); appLo < 0 || appHi > appTagCeiling {
+		return fmt.Errorf("tagspan: core.AppTagSpan(0) = [%#x, %#x) exceeds the mirrored ceiling %#x; raise appTagCeiling", appLo, appHi, appTagCeiling)
+	}
+
+	lo, hi, declared := declaredReservedTags(pass)
+	for _, use := range controlTagUses(pass) {
+		v, ok := constIntValue(use.obj)
+		if !ok {
+			continue
+		}
+		if v >= 0 && v < appTagCeiling {
+			pass.Reportf(use.pos, "control tag %s = %#x lies inside the application tag span [0, %#x): it aliases stage or census traffic", use.obj.Name(), v, appTagCeiling)
+			continue
+		}
+		if !declared {
+			pass.Reportf(use.pos, "control tag %s = %#x is used but the package declares no ReservedTags span (implement runtime.TagReserver)", use.obj.Name(), v)
+			continue
+		}
+		if v < int64(lo) || v >= int64(hi) {
+			pass.Reportf(use.pos, "control tag %s = %#x lies outside the declared ReservedTags span [%#x, %#x)", use.obj.Name(), v, lo, hi)
+		}
+	}
+	return nil
+}
+
+// tagUse is one flagged-position use of a named control-tag constant.
+type tagUse struct {
+	obj *types.Const
+	pos token.Pos
+}
+
+// controlTagUses collects every use of a package-level, non-test-file
+// integer constant in a tag position: the tag argument of a Comm-shaped
+// Send, an element of a RecvAnyOf tag set, or an equality comparison
+// against a tag-named expression. Each constant is reported at most once,
+// at its first use in file order.
+func controlTagUses(pass *Pass) []tagUse {
+	prodConsts := make(map[*types.Const]bool)
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if c, ok := pass.TypesInfo.Defs[name].(*types.Const); ok {
+						prodConsts[c] = true
+					}
+				}
+			}
+		}
+	}
+
+	var uses []tagUse
+	seen := make(map[*types.Const]bool)
+	record := func(e ast.Expr) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		c, ok := pass.TypesInfo.Uses[id].(*types.Const)
+		if !ok || !prodConsts[c] || seen[c] {
+			return
+		}
+		seen[c] = true
+		uses = append(uses, tagUse{obj: c, pos: id.Pos()})
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.TypesInfo, v)
+				switch blockingCommFunc(fn) {
+				case "Send":
+					if len(v.Args) == 3 {
+						record(v.Args[1])
+					}
+				case "RecvAnyOf":
+					if len(v.Args) == 2 {
+						if cl, ok := ast.Unparen(v.Args[1]).(*ast.CompositeLit); ok {
+							for _, el := range cl.Elts {
+								record(el)
+							}
+						}
+					}
+				}
+			case *ast.BinaryExpr:
+				if v.Op != token.EQL && v.Op != token.NEQ {
+					return true
+				}
+				if isTagNamed(v.X) {
+					record(v.Y)
+				}
+				if isTagNamed(v.Y) {
+					record(v.X)
+				}
+			}
+			return true
+		})
+	}
+	return uses
+}
+
+// isTagNamed reports whether the expression is named like a frame tag: the
+// identifier `tag` or a selector ending in .tag / .Tag.
+func isTagNamed(e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name == "tag"
+	case *ast.SelectorExpr:
+		return v.Sel.Name == "tag" || v.Sel.Name == "Tag"
+	}
+	return false
+}
+
+// declaredReservedTags extracts the [lo, hi) span from the package's
+// ReservedTags method, requiring the return operands to be compile-time
+// constants (they are, in every transport: spans are policy, not state).
+func declaredReservedTags(pass *Pass) (lo, hi int64, ok bool) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Name.Name != "ReservedTags" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				ret, isRet := n.(*ast.ReturnStmt)
+				if !isRet || len(ret.Results) != 2 {
+					return true
+				}
+				l, okL := constExprValue(pass.TypesInfo, ret.Results[0])
+				h, okH := constExprValue(pass.TypesInfo, ret.Results[1])
+				if okL && okH && l < h {
+					// Several returns (nested spans) widen to the union.
+					if !ok || l < lo {
+						lo = l
+					}
+					if !ok || h > hi {
+						hi = h
+					}
+					ok = true
+				}
+				return true
+			})
+		}
+	}
+	return lo, hi, ok
+}
+
+func constIntValue(c *types.Const) (int64, bool) {
+	if c.Val().Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(c.Val())
+}
+
+func constExprValue(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

@@ -260,3 +260,70 @@ func badPullerDropsFrameOnCancel(s *arrivalStash, cancelled bool, n int) {
 		s.frames = append(s.frames, buf)
 	}
 }
+
+// --- interprocedural: ownership routed through same-package helpers. The
+// summary engine gives each helper a ParamEffect/ReturnsOwned summary, so
+// minting, releasing, and double-releasing through a helper behave exactly
+// like the direct calls above ---
+
+// mintHelper returns a fresh pooled frame: its summary marks the result
+// owned, and every caller inherits the release obligation.
+func mintHelper(n int) []byte {
+	return msg.GetFrameLen(n)
+}
+
+// mintHelperWithErr is the tuple-shaped mint (buf, err), the common
+// transport constructor signature.
+func mintHelperWithErr(n int) ([]byte, error) {
+	return msg.GetFrameCap(n), nil
+}
+
+// releaseHelper returns its argument to the pool: summary EffRelease.
+func releaseHelper(buf []byte) {
+	msg.PutFrame(buf)
+}
+
+func okMintThroughHelper(n int) {
+	buf := mintHelper(n)
+	msg.PutFrame(buf)
+}
+
+func okReleaseThroughHelper(n int) {
+	buf := msg.GetFrameLen(n)
+	releaseHelper(buf)
+}
+
+func okTupleMintReleased(n int) {
+	buf, _ := mintHelperWithErr(n)
+	msg.PutFrame(buf)
+}
+
+// The seeded regression: a leak the per-function pass provably missed —
+// the mint is hidden behind mintHelper, so no msg.GetFrame* call appears
+// in this function at all.
+func badLeakThroughMintHelper(n int) int {
+	buf := mintHelper(n) // want "never released"
+	return len(buf)
+}
+
+func badTupleMintLeaksOnErrPath(n int) error {
+	buf, err := mintHelperWithErr(n)
+	if err != nil {
+		return err // want "leaks on this return path"
+	}
+	msg.PutFrame(buf)
+	return nil
+}
+
+func badDoublePutThroughHelper(n int) {
+	buf := msg.GetFrameLen(n)
+	releaseHelper(buf)
+	msg.PutFrame(buf) // want "double PutFrame"
+}
+
+func badHelperMintOneBranchOnly(cond bool, n int) {
+	buf := mintHelper(n) // want "not released on every path"
+	if cond {
+		releaseHelper(buf)
+	}
+}

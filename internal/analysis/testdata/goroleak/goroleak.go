@@ -1,0 +1,68 @@
+// Package gorofix is the analysistest fixture for the goroleak analyzer:
+// goroutines with and without a visible termination path, spawned both as
+// function literals and as named same-package callees.
+package gorofix
+
+func work()   {}
+func onceFn() {}
+
+// spinner loops forever with no exit: its Diverges summary marks any
+// `go spinner()` site.
+func spinner() {
+	for {
+		work()
+	}
+}
+
+// worker loops but leaves when the close signal arrives.
+func worker(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// drain loops forever by design: the channel is closed by the owner, and a
+// receive on a closed channel keeps yielding — the justified-waiver case.
+func drain(ch chan int) {
+	for range ch {
+		work()
+	}
+}
+
+func spawnAll(done chan struct{}, ch chan int) {
+	go onceFn()     // bounded one-shot: clean
+	go worker(done) // loop with close-signal return: clean
+
+	go spinner() // want "goroutine running spinner has no visible termination path"
+
+	go func() { // want "goroutine has no visible termination path"
+		for {
+			work()
+		}
+	}()
+
+	go func() { // clean: the loop returns on the close signal
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+
+	//stfw:ignore goroleak -- for-range over ch ends when the producer closes it
+	go func() {
+		for {
+			work()
+		}
+	}()
+
+	go drain(ch) // clean: for-range over a channel terminates on close
+}

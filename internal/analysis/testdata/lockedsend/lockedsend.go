@@ -94,3 +94,46 @@ func (e *engine) waivedSend(b []byte) {
 	e.ch <- b //stfw:ignore lockedsend
 	e.mu.Unlock()
 }
+
+// --- interprocedural: blocking hidden behind same-package helpers. The
+// MayBlock summary propagates through the call graph, so holding a mutex
+// across a helper that (transitively) sends is flagged like the direct
+// send above ---
+
+// flush blocks on the channel: its summary is MayBlock.
+func (e *engine) flush(b []byte) {
+	e.ch <- b
+}
+
+// flushIndirect blocks two frames deep: MayBlock is transitive.
+func (e *engine) flushIndirect(b []byte) {
+	e.flush(b)
+}
+
+// bump is lock-free bookkeeping: not MayBlock.
+func (e *engine) bump() { e.n++ }
+
+func (e *engine) okNonBlockingHelperUnderLock() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.bump()
+}
+
+func (e *engine) okBlockingHelperAfterUnlock(b []byte) {
+	e.mu.Lock()
+	e.bump()
+	e.mu.Unlock()
+	e.flushIndirect(b)
+}
+
+func (e *engine) badHelperBlocksUnderLock(b []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.flush(b) // want "may block on a channel send or Comm call, while holding e.mu"
+}
+
+func (e *engine) badHelperBlocksTwoFramesDeep(b []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.flushIndirect(b) // want "may block on a channel send or Comm call, while holding e.mu"
+}

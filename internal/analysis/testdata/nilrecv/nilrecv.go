@@ -8,7 +8,7 @@ type Registry struct {
 	n int
 }
 
-// Guarded is the required shape.
+// Guarded is the canonical required shape.
 func (r *Registry) Guarded() int {
 	if r == nil {
 		return 0
@@ -25,13 +25,24 @@ func (r *Registry) GuardedOrChain(stage int) int {
 }
 
 // Unguarded dereferences a possibly-nil receiver.
-func (r *Registry) Unguarded() int { // want "must begin with"
+func (r *Registry) Unguarded() int { // want "must be nil-receiver-safe"
 	return r.n
 }
 
-// GuardedLate checks too late: a non-guard first statement means the nil
-// case already slipped past.
-func (r *Registry) GuardedLate() int { // want "must begin with"
+// DerefBeforeGuard dereferences the receiver before the guard: the nil
+// case already crashed by the time the check runs.
+func (r *Registry) DerefBeforeGuard() int { // want "must be nil-receiver-safe"
+	x := r.n
+	if r == nil {
+		return 0
+	}
+	return r.n + x
+}
+
+// GuardedLate has a non-guard first statement, but the statement never
+// touches the receiver — the flow derivation accepts what the old
+// leading-guard syntax check rejected.
+func (r *Registry) GuardedLate() int {
 	x := 1
 	if r == nil {
 		return 0
@@ -39,10 +50,9 @@ func (r *Registry) GuardedLate() int { // want "must begin with"
 	return r.n + x
 }
 
-// Waived is deliberately nil-safe by construction.
-//
-//stfw:ignore nilrecv
-func (r *Registry) Waived() int {
+// Derived is nil-safe by delegation: callNilSafe guards its parameter, so
+// the derivation proves Derived without an ignore waiver.
+func (r *Registry) Derived() int {
 	return callNilSafe(r)
 }
 
@@ -51,6 +61,43 @@ func callNilSafe(r *Registry) int {
 		return 0
 	}
 	return r.n
+}
+
+// DerivedChain delegates to a nil-safe sibling method — safety propagates
+// through the method-summary fixpoint, not just through functions.
+func (r *Registry) DerivedChain() int {
+	return r.Guarded() + 1
+}
+
+// LeakToUnsafe passes the unguarded receiver to a function that
+// dereferences its parameter without a guard.
+func (r *Registry) LeakToUnsafe() int { // want "must be nil-receiver-safe"
+	return callUnsafe(r)
+}
+
+func callUnsafe(r *Registry) int {
+	return r.n
+}
+
+// ClosureGuarded captures the receiver in closures that each guard or
+// delegate safely — the real Registry.Handler shape. Closures run at an
+// unknown time, so the derivation re-checks them from scratch; here each
+// use is individually safe.
+func (r *Registry) ClosureGuarded() func() int {
+	return func() int {
+		if r == nil {
+			return 0
+		}
+		return r.Guarded()
+	}
+}
+
+// ClosureUnguarded captures the receiver and dereferences it inside the
+// closure with no guard: the nil crash just moved to call time.
+func (r *Registry) ClosureUnguarded() func() int { // want "must be nil-receiver-safe"
+	return func() int {
+		return r.n
+	}
 }
 
 // unexportedMethod needs no guard: not part of the public surface.

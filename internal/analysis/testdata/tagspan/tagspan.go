@@ -1,0 +1,52 @@
+// Package tagfix is the analysistest fixture for the tagspan analyzer: a
+// miniature transport with a declared ReservedTags span and control-tag
+// constants used the three ways the analyzer recognizes — as a Send tag,
+// in a RecvAnyOf tag set, and compared against a tag-named expression.
+package tagfix
+
+const (
+	// ctrlBase anchors the declared span: well above the 1<<20 application
+	// tag ceiling, mirroring udpnet's 0x7fffffxx control block.
+	ctrlBase = 0x7fffff00
+
+	ctrlEnter   = ctrlBase     // in span, used as Send tag: clean
+	ctrlRelease = ctrlBase + 1 // in span, used in RecvAnyOf set: clean
+	ctrlProbe   = ctrlBase + 2 // in span, used in a tag comparison: clean
+
+	// ctrlAlias collides with application traffic: stage and census tags
+	// live in [0, 1<<20).
+	ctrlAlias = 0x42
+
+	// ctrlStray clears the application ceiling but was never reserved: it
+	// escapes the mux's disjointness check.
+	ctrlStray = 0x7ffffe00
+)
+
+type comm struct{ tag int }
+
+func (c *comm) Send(to, tag int, payload []byte) error { return nil }
+
+func (c *comm) RecvAnyOf(from int, tags []int) (int, []byte, error) {
+	return 0, nil, nil
+}
+
+// ReservedTags declares the half-open control span [ctrlBase, ctrlBase+16).
+func (c *comm) ReservedTags() (lo, hi int) { return ctrlBase, ctrlBase + 16 }
+
+func (c *comm) handshake() error {
+	if err := c.Send(0, ctrlEnter, nil); err != nil {
+		return err
+	}
+	if err := c.Send(0, ctrlAlias, nil); err != nil { // want "inside the application tag span"
+		return err
+	}
+	if err := c.Send(0, ctrlStray, nil); err != nil { // want "outside the declared ReservedTags span"
+		return err
+	}
+	_, _, err := c.RecvAnyOf(0, []int{ctrlRelease})
+	return err
+}
+
+func (c *comm) dispatch() bool {
+	return c.tag == ctrlProbe
+}

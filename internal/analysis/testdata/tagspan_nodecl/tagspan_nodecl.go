@@ -1,0 +1,14 @@
+// Package tagnodecl is the tagspan fixture for a transport that sends
+// control frames without declaring a ReservedTags span: every control tag
+// is flagged, because the mux has nothing to check disjointness against.
+package tagnodecl
+
+const ctrlPing = 0x7fffff80
+
+type comm struct{}
+
+func (c *comm) Send(to, tag int, payload []byte) error { return nil }
+
+func (c *comm) ping() error {
+	return c.Send(0, ctrlPing, nil) // want "declares no ReservedTags span"
+}

@@ -195,6 +195,29 @@ func (c *comm) Send(to, tag int, payload []byte) error {
 // so multi-process worlds synchronize over the wire).
 func (c *comm) Barrier() error { return c.outer.Barrier() }
 
+// ReservedTags implements runtime.TagReserver for the mux itself: the
+// union of the sub-transports' reservations, as the smallest half-open
+// span covering both. Without this, nesting one hier world inside another
+// (hier-of-hier topologies) would hide the leaves' control tags from the
+// outer mux's collision check — the inner mux is just another Comm there,
+// and a non-reserving Comm is assumed tag-clean. Reservations sit far
+// above the application ceiling, so covering the gap between two disjoint
+// claims over-approximates harmlessly. lo >= hi (here 0, 0) means neither
+// sub reserves.
+func (c *comm) ReservedTags() (lo, hi int) {
+	iLo, iHi, iOK := runtime.ReservedTagsOf(c.inner)
+	oLo, oHi, oOK := runtime.ReservedTagsOf(c.outer)
+	switch {
+	case iOK && oOK:
+		return min(iLo, oLo), max(iHi, oHi)
+	case iOK:
+		return iLo, iHi
+	case oOK:
+		return oLo, oHi
+	}
+	return 0, 0
+}
+
 // HintTraffic implements runtime.TrafficHinter: each stage's per-peer
 // entries are filtered by the pair rule and forwarded to the sub-transport
 // that will actually carry them, preserving the stage's Tag and Dim. Under
